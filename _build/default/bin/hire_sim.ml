@@ -1,0 +1,137 @@
+(* Command-line runner for a single experiment cell of the paper's sweep
+   (one ⟨scheduler, μ, switch setup⟩ on a fat-tree cluster), mirroring
+   the artifact's runner tool.  Prints the metric summary the figures are
+   built from; see bench/main.ml for the full sweep. *)
+
+let run scheduler mu k horizon seeds setup util fraction verbose csv =
+  let setup =
+    match setup with
+    | "homogeneous" | "homog" -> Sim.Cluster.Homogeneous
+    | "heterogeneous" | "het" -> Sim.Cluster.Heterogeneous
+    | other -> failwith (Printf.sprintf "unknown setup %S (homogeneous|heterogeneous)" other)
+  in
+  if not (List.mem scheduler Schedulers.Registry.names) then
+    failwith
+      (Printf.sprintf "unknown scheduler %S (known: %s)" scheduler
+         (String.concat ", " Schedulers.Registry.names));
+  let spec =
+    {
+      Harness.Experiment.scheduler;
+      mu;
+      setup;
+      k;
+      horizon;
+      seed = 1;
+      target_utilization = util;
+      inc_capable_fraction = fraction;
+    }
+  in
+  Printf.printf "scheduler=%s mu=%.2f k=%d horizon=%.0fs setup=%s util=%.2f seeds=[%s]\n%!"
+    scheduler mu k horizon
+    (Sim.Cluster.inc_setup_to_string setup)
+    util
+    (String.concat ";" (List.map string_of_int seeds));
+  let reports = Harness.Experiment.run_seeds spec seeds in
+  List.iteri
+    (fun i r ->
+      Printf.printf "seed %d: %s\n" (List.nth seeds i)
+        (Format.asprintf "%a" Sim.Metrics.pp_report r);
+      if verbose then begin
+        let lats = r.Sim.Metrics.placement_latencies in
+        if lats <> [] then begin
+          Printf.printf "  placement latency: ";
+          List.iter
+            (fun (p, v) -> Printf.printf "p%.0f=%.3fs " p v)
+            (Prelude.Stats.percentiles [ 50.0; 90.0; 99.0 ] lats);
+          print_newline ()
+        end;
+        if r.Sim.Metrics.solver_samples <> [] then
+          Printf.printf "  solver: %d solves, median %.3f ms\n"
+            (List.length r.Sim.Metrics.solver_samples)
+            (1000.0 *. Prelude.Stats.percentile 50.0 r.Sim.Metrics.solver_samples)
+      end)
+    reports;
+  (match csv with
+  | None -> ()
+  | Some path ->
+      let rows =
+        List.map2
+          (fun seed r ->
+            Sim.Csv_export.row ~scheduler ~mu ~setup ~seed r)
+          seeds reports
+      in
+      Sim.Csv_export.write_file path rows;
+      Printf.printf "per-seed rows written to %s\n" path);
+  let mean f = Harness.Experiment.mean_over f reports in
+  Printf.printf
+    "mean over %d seed(s): satisfied-INC=%.3f unserved-INC-TGs=%.3f detour=%.3f\n"
+    (List.length reports)
+    (mean Sim.Metrics.inc_satisfaction_ratio)
+    (mean Sim.Metrics.inc_tg_unserved_ratio)
+    (mean (fun r -> r.Sim.Metrics.detour_mean))
+
+open Cmdliner
+
+let scheduler =
+  let doc =
+    "Scheduler to run: " ^ String.concat ", " Schedulers.Registry.names ^ "."
+  in
+  Arg.(value & opt string "hire" & info [ "scheduler"; "s" ] ~docv:"NAME" ~doc)
+
+let mu =
+  let doc = "Target ratio of jobs requesting INC resources (the paper's sweep axis)." in
+  Arg.(value & opt float 1.0 & info [ "mu" ] ~docv:"RATIO" ~doc)
+
+let k =
+  let doc = "Fat-tree arity (k=26 is the paper's 4394-server testbed)." in
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+
+let horizon =
+  let doc = "Trace length in simulated seconds." in
+  Arg.(value & opt float 400.0 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+
+let seeds =
+  let doc = "Seeds to run (the paper uses three per cell)." in
+  Arg.(value & opt (list int) [ 1; 2; 3 ] & info [ "seeds" ] ~docv:"INTS" ~doc)
+
+let setup =
+  let doc = "Switch capability setup: homogeneous or heterogeneous (2 services/switch)." in
+  Arg.(value & opt string "homogeneous" & info [ "setup" ] ~docv:"SETUP" ~doc)
+
+let util =
+  let doc = "Offered CPU load of the generated trace." in
+  Arg.(value & opt float 0.8 & info [ "util" ] ~docv:"FRACTION" ~doc)
+
+let fraction =
+  let doc =
+    "Fraction of switches that are INC-capable (default: k/26, keeping the paper's \
+     servers-per-INC-switch ratio)."
+  in
+  Arg.(value & opt (some float) None & info [ "inc-capable" ] ~docv:"FRACTION" ~doc)
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-seed latency and solver stats.")
+
+let csv =
+  let doc = "Also write per-seed metric rows to $(docv) (the artifact's stats-file spirit)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "run one HIRE-reproduction scheduling experiment" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays a synthetic Alibaba-like trace against a fat-tree cluster with \
+         INC-capable switches and reports the paper's metrics (satisfied INC jobs, \
+         unallocated INC task groups, switch detours, switch load, placement latency). \
+         See bench/main.exe for the full figure sweep.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "hire_sim" ~version:"1.0" ~doc ~man)
+    Term.(
+      const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction $ verbose
+      $ csv)
+
+let () = exit (Cmd.eval cmd)

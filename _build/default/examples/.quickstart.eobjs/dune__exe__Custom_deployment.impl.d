@@ -1,0 +1,1 @@
+examples/custom_deployment.ml: Array Format Hire List Prelude Printf Schedulers Sim String Topology Workload

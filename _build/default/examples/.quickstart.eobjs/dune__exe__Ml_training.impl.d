@@ -1,0 +1,1 @@
+examples/ml_training.ml: Array Format Hire List Prelude Schedulers Sim Workload

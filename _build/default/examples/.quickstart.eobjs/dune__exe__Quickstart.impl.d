@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Hire List Prelude Sim Topology Workload

@@ -1,0 +1,1 @@
+examples/scheduler_comparison.ml: Format Harness List Prelude Sim

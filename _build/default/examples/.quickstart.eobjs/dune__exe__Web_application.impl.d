@@ -1,0 +1,1 @@
+examples/web_application.ml: Array Format Hire List Prelude Printf Schedulers Sim String Workload

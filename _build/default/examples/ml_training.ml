@@ -1,0 +1,92 @@
+(* Machine-learning training with in-network aggregation (Fig. 2 right):
+   worker task groups whose gradient aggregation can run on a SHArP-style
+   switch tree, saving workers and wall-clock time.
+
+     dune exec examples/ml_training.exe
+
+   Submits the same training jobs twice — once with the SHArP alternative
+   available and once server-only — and compares the placement outcome:
+   served-with-INC ratio, runtime saving, and server hours consumed. *)
+
+module Comp_store = Hire.Comp_store
+module Comp_req = Hire.Comp_req
+module Rng = Prelude.Rng
+
+let training_req ~with_inc ~workers =
+  let aggregator =
+    {
+      Comp_req.comp_id = "aggregate";
+      template = "aggregator";
+      base = { Comp_req.instances = workers; cpu = 16.0; mem = 32.0; duration = 600.0 };
+      inc_alternatives = (if with_inc then [ "sharp" ] else []);
+    }
+  in
+  let ps =
+    {
+      Comp_req.comp_id = "param-server";
+      template = "server";
+      base = { Comp_req.instances = 2; cpu = 8.0; mem = 64.0; duration = 600.0 };
+      inc_alternatives = [];
+    }
+  in
+  {
+    Comp_req.priority = Workload.Job.Batch;
+    composites = [ aggregator; ps ];
+    connections = [ ("aggregate", "param-server") ];
+  }
+
+let run_variant ~with_inc =
+  let store = Comp_store.default () in
+  let cluster =
+    Sim.Cluster.create ~inc_capable_fraction:1.0 ~k:6 ~setup:Sim.Cluster.Homogeneous
+      ~services:(Array.to_list (Comp_store.service_names store))
+      (Rng.create 3)
+  in
+  let ids = Hire.Transformer.Id_gen.create () in
+  let rng = Rng.create 4 in
+  let arrivals =
+    List.init 4 (fun i ->
+        let workers = 16 + (8 * i) in
+        let arrival = float_of_int i *. 2.0 in
+        ( arrival,
+          Hire.Transformer.transform store ids rng ~job_id:i ~arrival
+            (training_req ~with_inc ~workers) ))
+  in
+  let sched = Schedulers.Registry.create "hire" ~seed:1 cluster in
+  let result = Sim.Simulator.run cluster sched arrivals in
+  (result.Sim.Simulator.report, arrivals)
+
+let server_hours arrivals (r : Sim.Metrics.report) =
+  ignore r;
+  (* Account the chosen variants' server work from the poly reqs is not
+     directly observable here; approximate with CPU-seconds of all server
+     groups that were satisfied. *)
+  List.fold_left
+    (fun acc (_, poly) ->
+      List.fold_left
+        (fun acc (tg : Hire.Poly_req.task_group) ->
+          if Hire.Poly_req.is_network tg then acc
+          else acc +. (float_of_int tg.count *. tg.duration /. 3600.0))
+        acc poly.Hire.Poly_req.task_groups)
+    0.0 arrivals
+
+let () =
+  Format.printf "training with SHArP in-network aggregation available:@.";
+  let with_inc, arr_inc = run_variant ~with_inc:true in
+  Format.printf "  %a@." Sim.Metrics.pp_report with_inc;
+  Format.printf "  aggregation trees served in-network: %d/%d@."
+    with_inc.Sim.Metrics.inc_jobs_served with_inc.Sim.Metrics.inc_jobs_total;
+
+  Format.printf "@.training server-only (no INC alternative):@.";
+  let without_inc, _arr_plain = run_variant ~with_inc:false in
+  Format.printf "  %a@." Sim.Metrics.pp_report without_inc;
+
+  (* The INC variant shrinks the worker group and its runtime by the
+     service's saving factor (capped at 10% per the paper's methodology),
+     freeing server capacity for other tenants. *)
+  let lat r = Prelude.Stats.percentile 50.0 r.Sim.Metrics.placement_latencies in
+  Format.printf "@.median placement latency: with INC %.3fs, without %.3fs@."
+    (lat with_inc) (lat without_inc);
+  Format.printf "requested server-hours (both variants submitted): %.1f@."
+    (server_hours arr_inc with_inc);
+  Format.printf "done.@."

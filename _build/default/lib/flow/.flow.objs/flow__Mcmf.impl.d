@@ -1,0 +1,1 @@
+lib/flow/mcmf.ml: Array Graph Hashtbl List Prelude Queue Unix

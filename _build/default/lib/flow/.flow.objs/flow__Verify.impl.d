@@ -1,0 +1,1 @@
+lib/flow/verify.ml: Array Format Graph List String

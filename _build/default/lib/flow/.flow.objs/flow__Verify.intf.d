@@ -1,0 +1,1 @@
+lib/flow/verify.mli: Format Graph

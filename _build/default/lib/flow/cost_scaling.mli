@@ -1,0 +1,29 @@
+(** Cost-scaling min-cost flow (Goldberg–Tarjan ε-relaxation with
+    push/relabel), the algorithm family used by Firmament's fastest
+    solver.  The paper's artifact runs several MCMF solvers in parallel
+    and takes the fastest; this module provides the second algorithm for
+    the same role (and for cross-checking — both must produce flows of
+    identical cost).
+
+    The solver works on integer costs and capacities.  To guarantee a
+    feasible circulation on arbitrary instances, it routes any
+    otherwise-unshippable supply over artificial arcs through one virtual
+    node added to the graph; those arcs carry prohibitive cost, so they
+    are used only when the instance itself is infeasible.  The virtual
+    node and arcs remain in the graph after solving (flow 0 on feasible
+    instances) — harmless for {!Verify} but callers comparing node
+    counts should solve on a scratch copy. *)
+
+type result = {
+  shipped : int;  (** supply routed to real demands *)
+  unshipped : int;  (** supply that needed the artificial arcs *)
+  total_cost : int;  (** cost of the final flow, artificial arcs excluded *)
+  phases : int;  (** ε-scaling phases executed *)
+  pushes : int;
+  relabels : int;
+  elapsed_s : float;
+}
+
+(** [solve ?alpha g] runs cost scaling with scale factor [alpha]
+    (default 8).  Arc flows of [g] are left at the optimum. *)
+val solve : ?alpha:int -> Graph.t -> result

@@ -1,0 +1,179 @@
+(* Forward-star adjacency with paired residual arcs.  Arc 2k is the k-th
+   user arc, arc 2k+1 its residual twin.  All per-arc attributes live in
+   growable parallel int arrays. *)
+
+type arc = int
+
+type t = {
+  mutable n : int;                 (* node count *)
+  mutable m : int;                 (* residual arc count = 2 * forward arcs *)
+  mutable head : int array;        (* first outgoing residual arc per node, -1 if none *)
+  mutable supply_arr : int array;
+  mutable next : int array;        (* next residual arc in the forward star *)
+  mutable to_ : int array;         (* arc destination *)
+  mutable cap : int array;         (* remaining residual capacity *)
+  mutable cost_arr : int array;
+  mutable orig_cap : int array;    (* initial capacity, for flow/reset *)
+}
+
+let create ?(node_hint = 16) ?(arc_hint = 64) () =
+  let node_hint = max 1 node_hint and arc_hint = max 1 (2 * arc_hint) in
+  {
+    n = 0;
+    m = 0;
+    head = Array.make node_hint (-1);
+    supply_arr = Array.make node_hint 0;
+    next = Array.make arc_hint (-1);
+    to_ = Array.make arc_hint 0;
+    cap = Array.make arc_hint 0;
+    cost_arr = Array.make arc_hint 0;
+    orig_cap = Array.make arc_hint 0;
+  }
+
+let grow_int_array arr len fill =
+  if Array.length arr >= len then arr
+  else begin
+    let narr = Array.make (max len (2 * Array.length arr)) fill in
+    Array.blit arr 0 narr 0 (Array.length arr);
+    narr
+  end
+
+let ensure_node_capacity t len =
+  t.head <- grow_int_array t.head len (-1);
+  t.supply_arr <- grow_int_array t.supply_arr len 0
+
+let ensure_arc_capacity t len =
+  t.next <- grow_int_array t.next len (-1);
+  t.to_ <- grow_int_array t.to_ len 0;
+  t.cap <- grow_int_array t.cap len 0;
+  t.cost_arr <- grow_int_array t.cost_arr len 0;
+  t.orig_cap <- grow_int_array t.orig_cap len 0
+
+let add_node t =
+  ensure_node_capacity t (t.n + 1);
+  let id = t.n in
+  t.head.(id) <- -1;
+  t.supply_arr.(id) <- 0;
+  t.n <- t.n + 1;
+  id
+
+let add_nodes t count =
+  if count <= 0 then invalid_arg "Graph.add_nodes: count must be positive";
+  let first = add_node t in
+  for _ = 2 to count do
+    ignore (add_node t)
+  done;
+  first
+
+let node_count t = t.n
+let arc_count t = t.m / 2
+
+let check_node t v name =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Graph.%s: bad node %d" name v)
+
+let add_half t ~src ~dst ~cap ~cost =
+  let a = t.m in
+  ensure_arc_capacity t (a + 1);
+  t.to_.(a) <- dst;
+  t.cap.(a) <- cap;
+  t.orig_cap.(a) <- cap;
+  t.cost_arr.(a) <- cost;
+  t.next.(a) <- t.head.(src);
+  t.head.(src) <- a;
+  t.m <- t.m + 1;
+  a
+
+let add_arc t ~src ~dst ~cap ~cost =
+  check_node t src "add_arc";
+  check_node t dst "add_arc";
+  if cap < 0 then invalid_arg "Graph.add_arc: negative capacity";
+  let fwd = add_half t ~src ~dst ~cap ~cost in
+  let (_ : arc) = add_half t ~src:dst ~dst:src ~cap:0 ~cost:(-cost) in
+  fwd
+
+let set_supply t v s =
+  check_node t v "set_supply";
+  t.supply_arr.(v) <- s
+
+let add_supply t v s =
+  check_node t v "add_supply";
+  t.supply_arr.(v) <- t.supply_arr.(v) + s
+
+let supply t v =
+  check_node t v "supply";
+  t.supply_arr.(v)
+
+let total_positive_supply t =
+  let acc = ref 0 in
+  for v = 0 to t.n - 1 do
+    if t.supply_arr.(v) > 0 then acc := !acc + t.supply_arr.(v)
+  done;
+  !acc
+
+let rev a = a lxor 1
+let is_forward a = a land 1 = 0
+let dst t a = t.to_.(a)
+let src t a = t.to_.(rev a)
+let cost t a = t.cost_arr.(a)
+let capacity t a = t.orig_cap.(a)
+let residual_cap t a = t.cap.(a)
+
+let flow t a =
+  if not (is_forward a) then invalid_arg "Graph.flow: not a forward arc";
+  t.orig_cap.(a) - t.cap.(a)
+
+let push t a amount =
+  if amount < 0 || amount > t.cap.(a) then
+    invalid_arg
+      (Printf.sprintf "Graph.push: amount %d exceeds residual capacity %d on arc %d" amount
+         t.cap.(a) a);
+  t.cap.(a) <- t.cap.(a) - amount;
+  t.cap.(rev a) <- t.cap.(rev a) + amount
+
+let iter_out t v f =
+  check_node t v "iter_out";
+  let a = ref t.head.(v) in
+  while !a >= 0 do
+    f !a;
+    a := t.next.(!a)
+  done
+
+let fold_out t v init f =
+  let acc = ref init in
+  iter_out t v (fun a -> acc := f !acc a);
+  !acc
+
+let iter_arcs t f =
+  let a = ref 0 in
+  while !a < t.m do
+    f !a;
+    a := !a + 2
+  done
+
+let reset_flow t =
+  for a = 0 to t.m - 1 do
+    t.cap.(a) <- t.orig_cap.(a)
+  done
+
+let flow_cost t =
+  let acc = ref 0 in
+  iter_arcs t (fun a -> acc := !acc + (flow t a * t.cost_arr.(a)));
+  !acc
+
+let conserves t =
+  let balance = Array.make t.n 0 in
+  iter_arcs t (fun a ->
+      let f = flow t a in
+      balance.(src t a) <- balance.(src t a) + f;
+      balance.(dst t a) <- balance.(dst t a) - f);
+  let bad = ref None in
+  for v = t.n - 1 downto 0 do
+    if balance.(v) <> t.supply_arr.(v) then bad := Some v
+  done;
+  match !bad with None -> Ok t.n | Some v -> Error v
+
+let pp fmt t =
+  Format.fprintf fmt "flow graph: %d nodes, %d arcs@." t.n (arc_count t);
+  iter_arcs t (fun a ->
+      Format.fprintf fmt "  %d -> %d  cap=%d cost=%d flow=%d@." (src t a) (dst t a)
+        (capacity t a) (cost t a) (flow t a))

@@ -1,0 +1,87 @@
+(** Mutable flow-network representation with residual arcs.
+
+    Nodes are dense integers [0 .. node_count-1].  Every call to [add_arc]
+    creates a forward arc with the given capacity and cost plus its paired
+    residual (reverse) arc with capacity 0 and negated cost; the pair
+    occupies consecutive ids so [rev a = a lxor 1].  Solvers mutate flow
+    in place; [reset_flow] restores the zero flow.
+
+    Supplies follow the usual min-cost-flow convention: positive supply
+    means the node injects flow, negative means it absorbs flow.  A
+    feasible flow ships all supply to the demand nodes. *)
+
+type t
+type arc = int
+
+val create : ?node_hint:int -> ?arc_hint:int -> unit -> t
+
+(** [add_node t] allocates a fresh node and returns its id. *)
+val add_node : t -> int
+
+(** [add_nodes t n] allocates [n] fresh nodes, returning the first id. *)
+val add_nodes : t -> int -> int
+
+val node_count : t -> int
+
+(** Number of forward arcs (residual pairs are not counted). *)
+val arc_count : t -> int
+
+(** [add_arc t ~src ~dst ~cap ~cost] adds a forward arc and its residual
+    pair; returns the forward arc id.  [cap] must be non-negative. *)
+val add_arc : t -> src:int -> dst:int -> cap:int -> cost:int -> arc
+
+val set_supply : t -> int -> int -> unit
+val add_supply : t -> int -> int -> unit
+val supply : t -> int -> int
+val total_positive_supply : t -> int
+
+val src : t -> arc -> int
+val dst : t -> arc -> int
+val cost : t -> arc -> int
+
+(** Original capacity of the arc (forward arcs only carry the user's
+    capacity; residual arcs start at 0). *)
+val capacity : t -> arc -> int
+
+(** Flow currently assigned to a *forward* arc. *)
+val flow : t -> arc -> int
+
+(** Remaining capacity of an arc in the residual network. *)
+val residual_cap : t -> arc -> int
+
+(** [rev a] is the paired reverse arc. *)
+val rev : arc -> arc
+
+(** [is_forward a] iff [a] is a user-created forward arc. *)
+val is_forward : arc -> bool
+
+(** [push t a amount] sends [amount] units along arc [a] in the residual
+    network, updating the pair.
+    @raise Invalid_argument if [amount] exceeds the residual capacity. *)
+val push : t -> arc -> int -> unit
+
+(** [iter_out t v f] applies [f] to every residual arc (forward and
+    reverse) leaving [v]. *)
+val iter_out : t -> int -> (arc -> unit) -> unit
+
+(** [fold_out t v init f] folds over residual arcs leaving [v]. *)
+val fold_out : t -> int -> 'a -> ('a -> arc -> 'a) -> 'a
+
+(** [iter_arcs t f] applies [f] to every forward arc. *)
+val iter_arcs : t -> (arc -> unit) -> unit
+
+val reset_flow : t -> unit
+
+(** Total cost of the current flow: sum over forward arcs of
+    [flow * cost]. *)
+val flow_cost : t -> int
+
+(** Flow conservation check: for every node, outflow - inflow must equal
+    its supply minus any unshipped residue at that node... more precisely,
+    [conserves t] verifies outflow(v) - inflow(v) = supply(v) for all
+    nodes when the instance has been solved to feasibility, and returns
+    the first violating node otherwise. *)
+val conserves : t -> (int, int) result
+
+(** Human-readable dump for debugging small networks. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,202 @@
+module Heap = Prelude.Heap
+
+type result = {
+  shipped : int;
+  unshipped : int;
+  total_cost : int;
+  augmentations : int;
+  elapsed_s : float;
+}
+
+let infinity_dist = max_int / 4
+
+(* SPFA (queue-based Bellman–Ford) from every positive-excess node; used
+   only to bootstrap potentials when negative arc costs are present. *)
+let spfa g excess =
+  let n = Graph.node_count g in
+  let dist = Array.make n infinity_dist in
+  let in_queue = Array.make n false in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if excess.(v) > 0 then begin
+      dist.(v) <- 0;
+      Queue.push v q;
+      in_queue.(v) <- true
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    in_queue.(v) <- false;
+    Graph.iter_out g v (fun a ->
+        if Graph.residual_cap g a > 0 then begin
+          let u = Graph.dst g a in
+          let nd = dist.(v) + Graph.cost g a in
+          if nd < dist.(u) then begin
+            dist.(u) <- nd;
+            if not in_queue.(u) then begin
+              Queue.push u q;
+              in_queue.(u) <- true
+            end
+          end
+        end);
+  done;
+  dist
+
+(* Multi-source Dijkstra on reduced costs.  Returns (dist, parent_arc);
+   parent_arc.(v) is the residual arc used to reach v, or -1. *)
+let dijkstra g excess pot dist parent =
+  let n = Graph.node_count g in
+  Array.fill dist 0 n infinity_dist;
+  Array.fill parent 0 n (-1);
+  let heap = Heap.create ~cmp:(fun (d1, _) (d2, _) -> compare (d1 : int) d2) in
+  for v = 0 to n - 1 do
+    if excess.(v) > 0 then begin
+      dist.(v) <- 0;
+      Heap.push heap (0, v)
+    end
+  done;
+  while not (Heap.is_empty heap) do
+    let d, v = Heap.pop heap in
+    if d = dist.(v) then
+      Graph.iter_out g v (fun a ->
+          if Graph.residual_cap g a > 0 then begin
+            let u = Graph.dst g a in
+            let rc = Graph.cost g a + pot.(v) - pot.(u) in
+            (* Reduced costs are non-negative once potentials are valid;
+               clamp tiny negatives caused by unreachable-node potential
+               staleness. *)
+            let rc = if rc < 0 then 0 else rc in
+            let nd = d + rc in
+            if nd < dist.(u) then begin
+              dist.(u) <- nd;
+              parent.(u) <- a;
+              Heap.push heap (nd, u)
+            end
+          end)
+  done
+
+let solve g =
+  let t0 = Unix.gettimeofday () in
+  let n = Graph.node_count g in
+  let excess = Array.init n (Graph.supply g) in
+  let pot = Array.make n 0 in
+  (* Bootstrap potentials if any arc cost is negative. *)
+  let has_negative = ref false in
+  Graph.iter_arcs g (fun a -> if Graph.cost g a < 0 then has_negative := true);
+  if !has_negative then begin
+    let dist = spfa g excess in
+    for v = 0 to n - 1 do
+      if dist.(v) < infinity_dist then pot.(v) <- dist.(v)
+    done
+  end;
+  let dist = Array.make n infinity_dist in
+  let parent = Array.make n (-1) in
+  let shipped = ref 0 in
+  let augmentations = ref 0 in
+  let remaining_supply () =
+    let acc = ref 0 in
+    for v = 0 to n - 1 do
+      if excess.(v) > 0 then acc := !acc + excess.(v)
+    done;
+    !acc
+  in
+  let continue_ = ref (remaining_supply () > 0) in
+  while !continue_ do
+    dijkstra g excess pot dist parent;
+    (* Nearest reachable deficit node. *)
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if excess.(v) < 0 && dist.(v) < infinity_dist then
+        if !best < 0 || dist.(v) < dist.(!best) then best := v
+    done;
+    match !best with
+    | -1 -> continue_ := false
+    | target ->
+        (* Bottleneck along the path back to whichever source started it. *)
+        let bottleneck = ref (-excess.(target)) in
+        let v = ref target in
+        while parent.(!v) >= 0 do
+          let a = parent.(!v) in
+          if Graph.residual_cap g a < !bottleneck then bottleneck := Graph.residual_cap g a;
+          v := Graph.src g a
+        done;
+        let source = !v in
+        if excess.(source) < !bottleneck then bottleneck := excess.(source);
+        let amount = !bottleneck in
+        let v = ref target in
+        while parent.(!v) >= 0 do
+          let a = parent.(!v) in
+          Graph.push g a amount;
+          v := Graph.src g a
+        done;
+        excess.(source) <- excess.(source) - amount;
+        excess.(target) <- excess.(target) + amount;
+        shipped := !shipped + amount;
+        incr augmentations;
+        (* Johnson potential update keeps reduced costs non-negative. *)
+        for u = 0 to n - 1 do
+          if dist.(u) < infinity_dist then pot.(u) <- pot.(u) + dist.(u)
+        done;
+        if remaining_supply () = 0 then continue_ := false
+  done;
+  {
+    shipped = !shipped;
+    unshipped = remaining_supply ();
+    total_cost = Graph.flow_cost g;
+    augmentations = !augmentations;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+type path = { nodes : int list; amount : int }
+
+let decompose g =
+  let n = Graph.node_count g in
+  (* Remaining flow per forward arc, consumed as paths are peeled off. *)
+  let rem = Hashtbl.create 256 in
+  Graph.iter_arcs g (fun a ->
+      let f = Graph.flow g a in
+      if f > 0 then Hashtbl.replace rem a f);
+  let rem_supply = Array.init n (fun v -> max 0 (Graph.supply g v)) in
+  let rem_demand = Array.init n (fun v -> max 0 (-Graph.supply g v)) in
+  let out_with_flow v =
+    Graph.fold_out g v None (fun acc a ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if Graph.is_forward a && Hashtbl.mem rem a && Hashtbl.find rem a > 0 then Some a
+            else None)
+  in
+  let paths = ref [] in
+  for source = 0 to n - 1 do
+    while rem_supply.(source) > 0 && out_with_flow source <> None do
+      (* Walk positive-flow arcs until we hit a node with remaining
+         demand and no further mandatory outflow, collecting the
+         bottleneck. *)
+      let rec walk v acc_nodes acc_arcs bottleneck =
+        if rem_demand.(v) > 0 then (List.rev (v :: acc_nodes), List.rev acc_arcs, min bottleneck rem_demand.(v))
+        else
+          match out_with_flow v with
+          | None ->
+              (* Conservation guarantees this only happens at a demand
+                 node; treat as sink with whatever bottleneck we have. *)
+              (List.rev (v :: acc_nodes), List.rev acc_arcs, bottleneck)
+          | Some a ->
+              let f = Hashtbl.find rem a in
+              walk (Graph.dst g a) (v :: acc_nodes) (a :: acc_arcs) (min bottleneck f)
+      in
+      let nodes, arcs, bottleneck = walk source [] [] rem_supply.(source) in
+      if bottleneck <= 0 || arcs = [] then rem_supply.(source) <- 0 (* degenerate; stop *)
+      else begin
+        List.iter
+          (fun a ->
+            let f = Hashtbl.find rem a - bottleneck in
+            if f <= 0 then Hashtbl.remove rem a else Hashtbl.replace rem a f)
+          arcs;
+        let sink = List.nth nodes (List.length nodes - 1) in
+        rem_supply.(source) <- rem_supply.(source) - bottleneck;
+        rem_demand.(sink) <- max 0 (rem_demand.(sink) - bottleneck);
+        paths := { nodes; amount = bottleneck } :: !paths
+      end
+    done
+  done;
+  List.rev !paths

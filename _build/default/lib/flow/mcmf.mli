@@ -1,0 +1,36 @@
+(** Min-cost max-flow solver: successive shortest augmenting paths with
+    Johnson node potentials.
+
+    The solver routes as much of the positive supply as possible to the
+    negative-supply (demand) nodes at minimum total cost.  When the
+    instance is infeasible (demand unreachable), the remaining supply is
+    simply left unshipped and reported in the result — this matches how
+    flow-based schedulers use the solver (an "unscheduled" node normally
+    guarantees feasibility).
+
+    Negative arc costs are supported: one Bellman–Ford (SPFA) pass
+    bootstraps the potentials, after which Dijkstra on reduced costs runs
+    each augmentation.  Complexity is O(F · m log n) where F is total
+    shipped flow — the same family as Quincy/Firmament's scheduling use. *)
+
+type result = {
+  shipped : int;  (** units of supply actually routed to demands *)
+  unshipped : int;  (** supply that could not reach any demand *)
+  total_cost : int;  (** cost of the final flow *)
+  augmentations : int;  (** number of augmenting paths used *)
+  elapsed_s : float;  (** wall-clock solve time *)
+}
+
+(** [solve g] computes a min-cost max-flow on [g], mutating arc flows in
+    place.  Supplies/demands are read from the graph's node supplies. *)
+val solve : Graph.t -> result
+
+(** A single decomposed flow path: node sequence from a supply node to a
+    demand node, and the amount carried. *)
+type path = { nodes : int list; amount : int }
+
+(** [decompose g] decomposes the current flow of [g] into source-to-sink
+    paths (cycles cannot occur in a min-cost solution with non-negative
+    reduced costs; any residual cycles of zero net cost are ignored).
+    The graph's flow is not modified. *)
+val decompose : Graph.t -> path list

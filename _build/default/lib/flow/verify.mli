@@ -1,0 +1,26 @@
+(** Independent checks of a solved flow, used by the test suite and the
+    CLI's [--verify] flag.  These re-derive properties from first
+    principles rather than trusting the solver's bookkeeping. *)
+
+type violation =
+  | Capacity_exceeded of Graph.arc
+  | Negative_flow of Graph.arc
+  | Conservation of int  (** node whose balance does not match its shipped supply *)
+  | Negative_cycle of int list  (** node cycle with negative residual cost *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check g] verifies that the current flow on [g]:
+    - respects arc capacities and non-negativity,
+    - conserves flow at every node up to unshipped supply
+      (outflow - inflow must equal supply at fully-shipped nodes and be
+      between 0 and supply at partially shipped source nodes; dually for
+      demands),
+    - admits no negative-cost cycle in the residual network (i.e. the
+      flow is min-cost for its value).
+
+    Returns [Ok ()] or the first violation found. *)
+val check : Graph.t -> (unit, violation) result
+
+(** [optimal g] checks only the negative-residual-cycle condition. *)
+val optimal : Graph.t -> (unit, violation) result

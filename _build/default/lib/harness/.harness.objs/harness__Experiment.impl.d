@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Hire List Prelude Schedulers Sim Workload

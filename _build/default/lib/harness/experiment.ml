@@ -1,0 +1,50 @@
+module Rng = Prelude.Rng
+
+type spec = {
+  scheduler : string;
+  mu : float;
+  setup : Sim.Cluster.inc_setup;
+  k : int;
+  horizon : float;
+  seed : int;
+  target_utilization : float;
+  inc_capable_fraction : float option;
+}
+
+let default =
+  {
+    scheduler = "hire";
+    mu = 0.5;
+    setup = Sim.Cluster.Homogeneous;
+    k = 8;
+    horizon = 600.0;
+    seed = 1;
+    target_utilization = 0.80;
+    inc_capable_fraction = Some 0.15;
+  }
+
+let run spec =
+  let rng = Rng.create spec.seed in
+  let trace_rng = Rng.split rng in
+  let scenario_rng = Rng.split rng in
+  let cluster_rng = Rng.split rng in
+  let store = Hire.Comp_store.default () in
+  let services = Array.to_list (Hire.Comp_store.service_names store) in
+  let cluster =
+    Sim.Cluster.create ?inc_capable_fraction:spec.inc_capable_fraction ~k:spec.k
+      ~setup:spec.setup ~services cluster_rng
+  in
+  let trace_config =
+    Workload.Trace_gen.scaled_rate
+      ~n_servers:(Sim.Cluster.n_servers cluster)
+      ~target_utilization:spec.target_utilization Workload.Trace_gen.default
+  in
+  let jobs = Workload.Trace_gen.generate trace_config trace_rng ~horizon:spec.horizon in
+  let scenario = Sim.Scenario.build store scenario_rng ~mu:spec.mu jobs in
+  let sched = Schedulers.Registry.create spec.scheduler ~seed:spec.seed cluster in
+  let result = Sim.Simulator.run cluster sched scenario.Sim.Scenario.arrivals in
+  result.Sim.Simulator.report
+
+let run_seeds spec seeds = List.map (fun seed -> run { spec with seed }) seeds
+
+let mean_over f reports = Prelude.Stats.mean (List.map f reports)

@@ -1,0 +1,31 @@
+(** One experiment cell of the paper's sweep (§6.2): a ⟨scheduler, μ,
+    switch setup⟩ triple on a fat-tree cluster, replaying a synthetic
+    Alibaba-like trace.  The paper runs each cell with three seeds. *)
+
+type spec = {
+  scheduler : string;  (** a {!Schedulers.Registry} name *)
+  mu : float;  (** target ratio of jobs requesting INC *)
+  setup : Sim.Cluster.inc_setup;
+  k : int;  (** fat-tree arity *)
+  horizon : float;  (** trace length, seconds *)
+  seed : int;
+  target_utilization : float;  (** offered CPU load of the trace *)
+  inc_capable_fraction : float option;
+      (** overrides the cluster's default INC-capable switch fraction.
+          [default] pins it to 0.15 — the calibration at k=8 that puts
+          INC demand at μ=1 moderately above the retrofitted baselines'
+          effective switch capacity, reproducing the paper's contention
+          regime (their k=26 testbed has every switch INC-capable).  Use
+          [Some 1.0] when running the full k=26 configuration. *)
+}
+
+val default : spec
+
+(** Parameter sweep helper: [{ default with ... }] for each μ, seed, ... *)
+val run : spec -> Sim.Metrics.report
+
+(** [run_seeds spec seeds] runs one cell per seed. *)
+val run_seeds : spec -> int list -> Sim.Metrics.report list
+
+(** Mean of a per-report statistic across seeds. *)
+val mean_over : (Sim.Metrics.report -> float) -> Sim.Metrics.report list -> float

@@ -1,0 +1,1 @@
+lib/hire/api.ml: Comp_req Comp_store List Printf Workload

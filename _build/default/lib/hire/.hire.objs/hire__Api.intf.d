@@ -1,0 +1,1 @@
+lib/hire/api.mli: Comp_req Comp_store

@@ -1,0 +1,1 @@
+lib/hire/comp_req.ml: Comp_store Format List Printf Result String Workload

@@ -1,0 +1,1 @@
+lib/hire/comp_req.mli: Comp_store Format Workload

@@ -1,0 +1,1 @@
+lib/hire/comp_store.ml: Array Float Hashtbl List Option Prelude Topology

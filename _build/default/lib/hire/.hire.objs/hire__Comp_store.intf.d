@@ -1,0 +1,1 @@
+lib/hire/comp_store.mli: Prelude

@@ -1,0 +1,1 @@
+lib/hire/cost_model.ml: Array Float Prelude Topology Workload

@@ -1,0 +1,1 @@
+lib/hire/cost_model.mli: Prelude Topology Workload

@@ -1,0 +1,1 @@
+lib/hire/flavor.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/hire/flavor.mli: Format

@@ -1,0 +1,1 @@
+lib/hire/flow_network.ml: Array Comp_store Cost_model Flavor Float Flow Format Hashtbl List Locality Pending Poly_req Prelude Printf Sharing Topology View

@@ -1,0 +1,1 @@
+lib/hire/flow_network.mli: Cost_model Flow Format Locality Pending View

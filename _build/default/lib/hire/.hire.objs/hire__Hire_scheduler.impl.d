@@ -1,0 +1,1 @@
+lib/hire/hire_scheduler.ml: Array Comp_store Cost_model Flavor Flow Flow_network Hashtbl List Locality Pending Poly_req Prelude Sharing Topology View

@@ -1,0 +1,1 @@
+lib/hire/hire_scheduler.mli: Cost_model Flow Flow_network Locality Poly_req View

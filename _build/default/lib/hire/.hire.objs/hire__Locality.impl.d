@@ -1,0 +1,1 @@
+lib/hire/locality.ml: Float Hashtbl List Topology

@@ -1,0 +1,1 @@
+lib/hire/locality.mli: Topology

@@ -1,0 +1,1 @@
+lib/hire/pending.ml: Array Flavor List Poly_req

@@ -1,0 +1,1 @@
+lib/hire/pending.mli: Flavor Poly_req

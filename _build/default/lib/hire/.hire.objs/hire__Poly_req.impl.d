@@ -1,0 +1,1 @@
+lib/hire/poly_req.ml: Comp_store Flavor Format List Prelude Printf Workload

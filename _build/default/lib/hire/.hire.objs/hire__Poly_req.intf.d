@@ -1,0 +1,1 @@
+lib/hire/poly_req.mli: Comp_store Flavor Format Prelude Workload

@@ -1,0 +1,1 @@
+lib/hire/sharing.ml: Array Hashtbl List Prelude Printf Topology

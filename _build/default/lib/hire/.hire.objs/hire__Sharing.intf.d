@@ -1,0 +1,1 @@
+lib/hire/sharing.mli: Prelude Topology

@@ -1,0 +1,1 @@
+lib/hire/transformer.ml: Array Comp_req Comp_store Flavor Float Hashtbl List Poly_req Prelude

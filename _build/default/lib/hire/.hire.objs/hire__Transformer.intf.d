@@ -1,0 +1,1 @@
+lib/hire/transformer.mli: Comp_req Comp_store Poly_req Prelude

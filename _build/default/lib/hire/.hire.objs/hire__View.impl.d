@@ -1,0 +1,1 @@
+lib/hire/view.ml: Prelude Sharing Topology

@@ -1,0 +1,1 @@
+lib/hire/view.mli: Prelude Sharing Topology

@@ -1,0 +1,44 @@
+type priority = Batch | Service
+
+let server ~id ~instances ~cpu ~mem ~duration =
+  {
+    Comp_req.comp_id = id;
+    template = "server";
+    base = { Comp_req.instances; cpu; mem; duration };
+    inc_alternatives = [];
+  }
+
+let with_alternative store ~service (c : Comp_req.composite) =
+  match Comp_store.template_of_service store service with
+  | None -> invalid_arg (Printf.sprintf "Api.with_alternative: no template provides %S" service)
+  | Some template ->
+      if List.mem service c.inc_alternatives then c
+      else begin
+        (* Composites stay on "server" until their first alternative
+           forces a template with INC implementations; additional
+           alternatives must come from the same template. *)
+        if c.template <> "server" && c.template <> template then
+          invalid_arg
+            (Printf.sprintf
+               "Api.with_alternative: %S is provided by template %S but composite %S uses %S"
+               service template c.comp_id c.template);
+        { c with template; inc_alternatives = c.inc_alternatives @ [ service ] }
+      end
+
+let connect (a : Comp_req.composite) (b : Comp_req.composite) = (a.comp_id, b.comp_id)
+
+let request store ?(priority = Batch) ?(connections = []) composites =
+  let req =
+    {
+      Comp_req.priority =
+        (match priority with Batch -> Workload.Job.Batch | Service -> Workload.Job.Service);
+      composites;
+      connections;
+    }
+  in
+  match Comp_req.validate store req with Ok () -> Ok req | Error e -> Error e
+
+let request_exn store ?priority ?connections composites =
+  match request store ?priority ?connections composites with
+  | Ok req -> req
+  | Error e -> invalid_arg ("Api.request_exn: " ^ e)

@@ -1,0 +1,53 @@
+(** Tenant-facing request-building API, mirroring the paper's List. 1
+    (an application master assembling a CompReq):
+
+    {[
+      let open Hire.Api in
+      let c4 = server ~id:"c4" ~instances:12 ~cpu:16.0 ~mem:8.5 ~duration:300.0 in
+      let c5 =
+        server ~id:"c5" ~instances:6 ~cpu:16.0 ~mem:32.0 ~duration:300.0
+        |> with_alternative store ~service:"netchain"
+      in
+      let req = request store ~priority:Service [ c4; c5 ] ~connections:[ connect c4 c5 ] in
+    ]}
+
+    [with_alternative] looks the service up in the CompStore and rewrites
+    the composite onto the template providing it, so tenants never spell
+    out implementation internals ([het]); [request] validates the whole
+    CompReq against the store before returning it. *)
+
+type priority = Batch | Service
+
+(** A server-implemented composite (the fallback every composite has). *)
+val server :
+  id:string ->
+  instances:int ->
+  cpu:float ->
+  mem:float ->
+  duration:float ->
+  Comp_req.composite
+
+(** [with_alternative store ~service c] registers an INC service as a
+    runtime alternative for [c], moving [c] onto the template that lists
+    the service.
+    @raise Invalid_argument if no template provides [service]. *)
+val with_alternative : Comp_store.t -> service:string -> Comp_req.composite -> Comp_req.composite
+
+(** Communication dependency between two composites. *)
+val connect : Comp_req.composite -> Comp_req.composite -> string * string
+
+(** Assemble and validate the CompReq. *)
+val request :
+  Comp_store.t ->
+  ?priority:priority ->
+  ?connections:(string * string) list ->
+  Comp_req.composite list ->
+  (Comp_req.t, string) result
+
+(** Like {!request} but raising on invalid input. *)
+val request_exn :
+  Comp_store.t ->
+  ?priority:priority ->
+  ?connections:(string * string) list ->
+  Comp_req.composite list ->
+  Comp_req.t

@@ -1,0 +1,157 @@
+module Vec = Prelude.Vec
+module Fat_tree = Topology.Fat_tree
+
+type params = {
+  cost_scale : int;
+  pref_lower : float;
+  pref_upper : float;
+  w_threshold : float;
+  gamma : int;
+  xi : int;
+  max_shortcuts : int;
+  max_flavor_decisions : int;
+  max_queue_tgs : int;
+  locality_aware : bool;
+  sharing_aware : bool;
+  server_fallback_penalty : float;
+}
+
+let default_params =
+  {
+    cost_scale = 1000;
+    pref_lower = 0.5;
+    pref_upper = 2.0;
+    w_threshold = 0.5;
+    gamma = 64;
+    xi = 2;
+    max_shortcuts = 50;
+    max_flavor_decisions = 250;
+    max_queue_tgs = 800;
+    locality_aware = true;
+    sharing_aware = true;
+    server_fallback_penalty = 3.5;
+  }
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let flatten ?weights components ~penalty params =
+  let components = Array.of_list components in
+  let n = Array.length components in
+  let avg =
+    if n = 0 then 0.0
+    else begin
+      match weights with
+      | None -> Array.fold_left ( +. ) 0.0 components /. float_of_int n
+      | Some w ->
+          if Array.length w <> n then invalid_arg "Cost_model.flatten: weight mismatch";
+          let total_w = Array.fold_left ( +. ) 0.0 w in
+          if total_w <= 0.0 then 0.0
+          else begin
+            let acc = ref 0.0 in
+            Array.iteri (fun i c -> acc := !acc +. (w.(i) *. c)) components;
+            !acc /. total_w
+          end
+    end
+  in
+  let v = (clamp01 avg +. Float.max 0.0 penalty) *. float_of_int params.cost_scale in
+  int_of_float (Float.round v)
+
+(* ------------------------------------------------------------------ *)
+(* Φ functions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let phi_floor_p ~active ~max_possible =
+  if max_possible <= 0 then 0.0 else clamp01 (float_of_int active /. float_of_int max_possible)
+
+let phi_tor topo ~switch =
+  (* Hops to the closest server: ToR 1, agg 2, core 3; normalized so a
+     ToR costs 0 and a core costs 1. *)
+  let hops =
+    match Fat_tree.kind topo switch with
+    | Fat_tree.Tor -> 1
+    | Fat_tree.Agg -> 2
+    | Fat_tree.Core -> 3
+    | Fat_tree.Server -> invalid_arg "Cost_model.phi_tor: not a switch"
+  in
+  float_of_int (hops - 1) /. 2.0
+
+let phi_loc ~related_placed ~upsilon ~gamma_norm ~server_weight =
+  if not related_placed then 0.5
+  else begin
+    let ws = clamp01 server_weight in
+    clamp01 ((ws *. upsilon) +. ((1.0 -. ws) *. (1.0 -. gamma_norm)))
+  end
+
+let phi_new ~service_active ~n_active ~max_possible =
+  if service_active then 0.0
+  else begin
+    let delta = if max_possible <= 0 then 0.0 else float_of_int n_active /. float_of_int max_possible in
+    1.0 /. (delta +. 1.0)
+  end
+
+let phi_pref ~waiting params =
+  if waiting >= params.pref_upper then 0.0
+  else if waiting <= params.pref_lower then 3.0
+  else begin
+    let ratio = (waiting -. params.pref_lower) /. (params.pref_upper -. params.pref_lower) in
+    3.0 *. -.tanh ((ratio *. 3.0) -. 3.0)
+  end
+
+let phi_prio = function Workload.Job.Service -> 0.0 | Workload.Job.Batch -> 1.0
+
+let phi_delay ~waiting ~max_waiting ~placed ~total =
+  let frac = if total <= 0 then 0.0 else clamp01 (float_of_int placed /. float_of_int total) in
+  let wr = if max_waiting <= 0.0 then 0.0 else clamp01 (waiting /. max_waiting) in
+  clamp01 (wr *. exp frac /. exp 1.0)
+
+let phi_w ~waiting params =
+  if waiting >= params.w_threshold then 1.0
+  else begin
+    let ratio = clamp01 (waiting /. params.w_threshold) in
+    (0.5 *. cos ((ratio -. 1.0) *. Float.pi)) +. 0.5
+  end
+
+let phi_xhat ~estimate ~max_estimate =
+  if max_estimate <= 0.0 then 0.0 else clamp01 (estimate /. max_estimate)
+
+(* ------------------------------------------------------------------ *)
+(* Edge assembly                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let balance_inverted util = clamp01 (1.0 -. Vec.stddev util)
+
+(* avg and stddev of the demand-to-availability ratio (d ⊘ r). *)
+let demand_fit ~demand ~available =
+  let ratio = Array.map clamp01 (Vec.div demand available) in
+  (Vec.avg ratio, clamp01 (Vec.stddev ratio))
+
+let ms_to_k ~util params =
+  flatten [ Vec.avg util; balance_inverted util ] ~penalty:0.0 params
+
+let mn_to_k ~util ~phi_tor ~phi_floor params =
+  flatten [ Vec.avg util; balance_inverted util; phi_tor; phi_floor ] ~penalty:0.0 params
+
+let gs_shortcut ~demand ~available ~phi_loc ~phi_prio params =
+  let fit_avg, fit_dev = demand_fit ~demand ~available in
+  flatten [ fit_avg; fit_dev; phi_loc; 1.0; phi_prio ] ~penalty:0.0 params
+
+let gn_shortcut ~demand ~available ~capacity ~phi_loc ~phi_new ~phi_prio params =
+  let fit_avg, fit_dev = demand_fit ~demand ~available in
+  (* Switches are the scarce resource: unlike servers (load-balanced),
+     INC placements are packed best-fit — the cost grows with the
+     head-room that would remain, fighting SRAM fragmentation. *)
+  let free_after =
+    let remaining = Vec.clamp_nonneg (Vec.sub available demand) in
+    Vec.avg (Vec.div remaining capacity)
+  in
+  flatten [ fit_avg; fit_dev; free_after; phi_loc; phi_new; phi_prio ] ~penalty:0.0 params
+
+let g_to_p ~phi_delay params = flatten [ phi_delay ] ~penalty:5.0 params
+
+let f_to_g ~phi_xhat ~phi_pref ?(fallback = false) params =
+  let penalty =
+    phi_pref +. if fallback then params.server_fallback_penalty else 0.0
+  in
+  flatten [ phi_xhat ] ~penalty params
+let f_to_p ~phi_w params = flatten [ phi_w ] ~penalty:3.0 params
+let s_to_f params = flatten [] ~penalty:1.0 params

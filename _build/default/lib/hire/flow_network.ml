@@ -1,0 +1,538 @@
+module Graph = Flow.Graph
+module Mcmf = Flow.Mcmf
+module Vec = Prelude.Vec
+module Fat_tree = Topology.Fat_tree
+
+type node_role =
+  | Super
+  | Flavor_sel of int
+  | Group of int
+  | Postpone of int
+  | Aux_server of int
+  | Aux_inc of int
+  | Machine_server of int
+  | Machine_inc of int
+  | Sink
+
+let pp_role fmt = function
+  | Super -> Format.pp_print_string fmt "S"
+  | Flavor_sel j -> Format.fprintf fmt "F(job %d)" j
+  | Group tg -> Format.fprintf fmt "G(tg %d)" tg
+  | Postpone j -> Format.fprintf fmt "P(job %d)" j
+  | Aux_server s -> Format.fprintf fmt "Ns(%d)" s
+  | Aux_inc s -> Format.fprintf fmt "Nn(%d)" s
+  | Machine_server s -> Format.fprintf fmt "Ms(%d)" s
+  | Machine_inc s -> Format.fprintf fmt "Mn(%d)" s
+  | Sink -> Format.pp_print_string fmt "K"
+
+type t = { graph : Graph.t; roles : (int, node_role) Hashtbl.t; sink : int }
+
+let graph t = t.graph
+
+let role t v =
+  match Hashtbl.find_opt t.roles v with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Flow_network.role: unknown node %d" v)
+
+let size t = (Graph.node_count t.graph, Graph.arc_count t.graph)
+
+(* ------------------------------------------------------------------ *)
+(* Per-round aggregates                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-ToR aggregate of server availability: the lower bound implements
+   the "all resource nodes reachable via N can run at least one task"
+   rule for subtree shortcuts; the upper bound prices them. *)
+type tor_agg = { n_servers : int; min_avail : Vec.t; max_avail : Vec.t }
+
+let tor_aggregates (view : View.t) =
+  let topo = view.topo in
+  let aggs = Hashtbl.create 64 in
+  Array.iter
+    (fun tor ->
+      let servers = Fat_tree.servers_under topo tor in
+      if Array.length servers > 0 then begin
+        let first = view.server_available servers.(0) in
+        let min_avail = Vec.copy first and max_avail = Vec.copy first in
+        Array.iter
+          (fun s ->
+            let a = view.server_available s in
+            Array.iteri
+              (fun i x ->
+                if x < min_avail.(i) then min_avail.(i) <- x;
+                if x > max_avail.(i) then max_avail.(i) <- x)
+              a)
+          servers;
+        Hashtbl.replace aggs tor { n_servers = Array.length servers; min_avail; max_avail }
+      end)
+    (Fat_tree.tor_switches topo);
+  aggs
+
+(* Locality context of one task group: inputs of Φloc. *)
+type loc_ctx = {
+  related_placed : bool;
+  server_weight : float;
+  group_size : int;
+  related : int list;
+  gain : Locality.Gain.t;
+}
+
+let neutral_ctx view census ~(params : Cost_model.params) =
+  {
+    related_placed = false;
+    server_weight = 0.5;
+    group_size = 1;
+    related = [];
+    gain = Locality.Gain.compute view.View.topo census ~related:[] ~gamma:params.gamma ~xi:params.xi;
+  }
+
+and loc_ctx (view : View.t) census ~(params : Cost_model.params) (ts : Pending.tg_state) =
+  let related = ts.tg.Poly_req.tg_id :: ts.tg.Poly_req.connected in
+  let group_size =
+    List.fold_left (fun acc id -> acc + Locality.Task_census.total census ~tg_id:id) 0 related
+  in
+  let on_servers, on_switches =
+    List.fold_left
+      (fun (sv, sw) tg_id ->
+        List.fold_left
+          (fun (sv, sw) (m, c) ->
+            if Fat_tree.is_server view.topo m then (sv + c, sw) else (sv, sw + c))
+          (sv, sw)
+          (Locality.Task_census.machines census ~tg_id))
+      (0, 0) related
+  in
+  let total_placed = on_servers + on_switches in
+  {
+    related_placed = total_placed > 0;
+    server_weight =
+      (if total_placed = 0 then 0.5
+       else float_of_int on_servers /. float_of_int total_placed);
+    group_size = max 1 group_size;
+    related;
+    gain = Locality.Gain.compute view.topo census ~related ~gamma:params.gamma ~xi:params.xi;
+  }
+
+let phi_loc_at (view : View.t) census ctx node =
+  let upsilon =
+    Locality.upsilon view.topo census ~tg_ids:ctx.related ~node ~group_size:ctx.group_size
+  in
+  Cost_model.phi_loc ~related_placed:ctx.related_placed ~upsilon
+    ~gamma_norm:(Locality.Gain.normalized ctx.gain node)
+    ~server_weight:ctx.server_weight
+
+(* ------------------------------------------------------------------ *)
+(* Shortcut candidates                                                *)
+(* ------------------------------------------------------------------ *)
+
+type shortcut = {
+  target : [ `Tor of int | `Server of int | `Switch of int ];
+  cap : int;
+  cost : int;
+}
+
+let trim_shortcuts ~(params : Cost_model.params) candidates =
+  let arr = Array.of_list candidates in
+  Array.sort (fun a b -> compare a.cost b.cost) arr;
+  Array.to_list (Array.sub arr 0 (min (Array.length arr) params.max_shortcuts))
+
+let server_shortcuts (view : View.t) census tor_aggs ~params ~ctx ~phi_prio
+    (ts : Pending.tg_state) =
+  let topo = view.topo in
+  let demand = ts.tg.Poly_req.demand in
+  let candidates = ref [] in
+  Array.iter
+    (fun tor ->
+      match Hashtbl.find_opt tor_aggs tor with
+      | None -> ()
+      | Some agg ->
+          if Vec.fits ~demand ~available:agg.min_avail then begin
+            (* Every server under this ToR fits: one aggregate edge. *)
+            let cost =
+              Cost_model.gs_shortcut ~demand ~available:agg.max_avail
+                ~phi_loc:(phi_loc_at view census ctx tor)
+                ~phi_prio params
+            in
+            candidates :=
+              { target = `Tor tor; cap = min ts.remaining agg.n_servers; cost } :: !candidates
+          end
+          else if Vec.fits ~demand ~available:agg.max_avail then
+            (* Mixed ToR: direct edges to the servers that do fit. *)
+            Array.iter
+              (fun s ->
+                let available = view.server_available s in
+                if Vec.fits ~demand ~available then begin
+                  let cost =
+                    Cost_model.gs_shortcut ~demand ~available
+                      ~phi_loc:(phi_loc_at view census ctx s)
+                      ~phi_prio params
+                  in
+                  candidates := { target = `Server s; cap = 1; cost } :: !candidates
+                end)
+              (Fat_tree.servers_under topo tor))
+    (Fat_tree.tor_switches topo);
+  trim_shortcuts ~params !candidates
+
+let network_shortcuts (view : View.t) census ~(params : Cost_model.params) ~ctx ~phi_prio
+    (ts : Pending.tg_state) (ninfo : Poly_req.network_info) =
+  let topo = view.topo in
+  let sharing = view.sharing in
+  let service = ninfo.Poly_req.service in
+  (* A sharing-unaware scheduler (CoCo++ retrofit) folds the shared
+     registration into every instance: no reuse benefit. *)
+  let per_switch, per_instance =
+    if params.sharing_aware then (ninfo.Poly_req.per_switch, ts.tg.Poly_req.demand)
+    else
+      ( Vec.zero (Vec.dim ts.tg.Poly_req.demand),
+        Vec.add ninfo.Poly_req.per_switch ts.tg.Poly_req.demand )
+  in
+  let candidates = ref [] in
+  Array.iter
+    (fun s ->
+      let shape_ok =
+        match ninfo.Poly_req.shape with
+        | Comp_store.Single_tor -> Fat_tree.kind topo s = Fat_tree.Tor
+        | Comp_store.Single | Comp_store.Chain | Comp_store.Tree | Comp_store.Spine_leaf ->
+            true
+      in
+      if
+        shape_ok
+        && (not (List.mem s ts.placed_on))
+        && Sharing.can_place sharing ~switch:s ~service ~per_switch ~per_instance
+      then begin
+        let effective =
+          Sharing.effective_demand sharing ~switch:s ~service ~per_switch ~per_instance
+        in
+        let available = Sharing.available sharing s in
+        let n_supported = List.length (Sharing.supported_services sharing s) in
+        let phi_new =
+          if params.sharing_aware then
+            Cost_model.phi_new
+              ~service_active:(Sharing.instances sharing ~switch:s ~service > 0)
+              ~n_active:(Sharing.n_active sharing s)
+              ~max_possible:n_supported
+          else 0.5
+        in
+        let cost =
+          Cost_model.gn_shortcut ~demand:effective ~available
+            ~capacity:(Sharing.capacity sharing)
+            ~phi_loc:(phi_loc_at view census ctx s)
+            ~phi_new ~phi_prio params
+        in
+        candidates := { target = `Switch s; cap = 1; cost } :: !candidates
+      end)
+    (Sharing.switch_ids sharing);
+  trim_shortcuts ~params !candidates
+
+(* ------------------------------------------------------------------ *)
+(* Build                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
+  let topo = view.topo in
+  let g = Graph.create ~node_hint:1024 ~arc_hint:8192 () in
+  let roles = Hashtbl.create 1024 in
+  let mk r =
+    let v = Graph.add_node g in
+    Hashtbl.replace roles v r;
+    v
+  in
+  let sink = mk Sink in
+
+  (* --- select jobs and task groups, FIFO by arrival, bounded --- *)
+  let jobs =
+    List.filter Pending.has_pending_work jobs
+    |> List.sort (fun (a : Pending.job_state) b ->
+           compare a.poly.Poly_req.arrival b.poly.Poly_req.arrival)
+  in
+  let budget = ref params.max_queue_tgs in
+  let selected =
+    List.filter_map
+      (fun (job : Pending.job_state) ->
+        if !budget <= 0 then None
+        else begin
+          let wanted ts =
+            ts.Pending.remaining > 0
+            &&
+            match Pending.status job ts with
+            | Flavor.Materialized -> true
+            | Flavor.Undecided -> not job.inc_flavor_locked
+            | Flavor.Dropped -> false
+          in
+          let entries = Array.to_list job.tg_states |> List.filter wanted in
+          let take = min (List.length entries) !budget in
+          if take = 0 then None
+          else begin
+            budget := !budget - take;
+            Some (job, List.filteri (fun i _ -> i < take) entries)
+          end
+        end)
+      jobs
+  in
+  let total_supply =
+    List.fold_left
+      (fun acc (job, tgs) ->
+        List.fold_left
+          (fun acc ts ->
+            if Pending.status job ts = Flavor.Materialized then acc + ts.Pending.remaining
+            else acc)
+          acc tgs)
+      0 selected
+  in
+  let big = total_supply + List.length selected + 1 in
+
+  (* --- machines and the two topology copies --- *)
+  let ms_tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun s ->
+      let v = mk (Machine_server s) in
+      Hashtbl.replace ms_tbl s v;
+      let cost = Cost_model.ms_to_k ~util:(View.server_utilization view s) params in
+      ignore (Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost))
+    (Fat_tree.servers topo);
+  let ns_tbl = Hashtbl.create 128 and nn_tbl = Hashtbl.create 128 in
+  let mn_tbl = Hashtbl.create 128 in
+  Array.iter
+    (fun s ->
+      Hashtbl.replace ns_tbl s (mk (Aux_server s));
+      Hashtbl.replace nn_tbl s (mk (Aux_inc s)))
+    (Fat_tree.switches topo);
+  Array.iter
+    (fun s ->
+      if Sharing.supported_services view.sharing s <> [] then begin
+        let v = mk (Machine_inc s) in
+        Hashtbl.replace mn_tbl s v;
+        ignore (Graph.add_arc g ~src:(Hashtbl.find nn_tbl s) ~dst:v ~cap:1 ~cost:0);
+        let cost =
+          Cost_model.mn_to_k
+            ~util:(Sharing.utilization view.sharing s)
+            ~phi_tor:(Cost_model.phi_tor topo ~switch:s)
+            ~phi_floor:
+              (Cost_model.phi_floor_p
+                 ~active:(Sharing.n_active view.sharing s)
+                 ~max_possible:(List.length (Sharing.supported_services view.sharing s)))
+            params
+        in
+        ignore (Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost)
+      end)
+    (Fat_tree.switches topo);
+  (* Topology arcs, downward. *)
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun child ->
+          if Fat_tree.is_server topo child then
+            ignore
+              (Graph.add_arc g ~src:(Hashtbl.find ns_tbl s)
+                 ~dst:(Hashtbl.find ms_tbl child) ~cap:1 ~cost:0)
+          else begin
+            ignore
+              (Graph.add_arc g ~src:(Hashtbl.find ns_tbl s) ~dst:(Hashtbl.find ns_tbl child)
+                 ~cap:big ~cost:0);
+            ignore
+              (Graph.add_arc g ~src:(Hashtbl.find nn_tbl s) ~dst:(Hashtbl.find nn_tbl child)
+                 ~cap:big ~cost:0)
+          end)
+        (Fat_tree.children topo s))
+    (Fat_tree.switches topo);
+
+  let tor_aggs = tor_aggregates view in
+  let max_waiting =
+    List.fold_left
+      (fun acc (job, _) -> Float.max acc (now -. (job : Pending.job_state).poly.Poly_req.arrival))
+      1e-6 selected
+  in
+
+  (* --- job, group, postpone, flavor nodes --- *)
+  let cheapest_shortcut : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let flavor_jobs = ref [] in
+  List.iter
+    (fun ((job : Pending.job_state), tgs) ->
+      let waiting = Float.max 0.0 (now -. job.poly.Poly_req.arrival) in
+      let p = mk (Postpone job.poly.Poly_req.job_id) in
+      let p_cap = ref 0 in
+      let phi_prio = Cost_model.phi_prio job.poly.Poly_req.priority in
+      let undecided_here = ref [] in
+      List.iter
+        (fun (ts : Pending.tg_state) ->
+          let tg = ts.tg in
+          let gnode = mk (Group tg.Poly_req.tg_id) in
+          let ctx =
+            if params.locality_aware then loc_ctx view census ~params ts
+            else neutral_ctx view census ~params
+          in
+          let shortcuts =
+            match tg.Poly_req.kind with
+            | Poly_req.Server_tg ->
+                server_shortcuts view census tor_aggs ~params ~ctx ~phi_prio ts
+            | Poly_req.Network_tg ninfo ->
+                network_shortcuts view census ~params ~ctx ~phi_prio ts ninfo
+          in
+          (match shortcuts with
+          | [] -> ()
+          | best :: _ -> Hashtbl.replace cheapest_shortcut tg.Poly_req.tg_id best.cost);
+          List.iter
+            (fun sc ->
+              let dst =
+                match sc.target with
+                | `Tor s -> Hashtbl.find ns_tbl s
+                | `Server s -> Hashtbl.find ms_tbl s
+                | `Switch s -> Hashtbl.find mn_tbl s
+              in
+              ignore (Graph.add_arc g ~src:gnode ~dst ~cap:sc.cap ~cost:sc.cost))
+            shortcuts;
+          match Pending.status job ts with
+          | Flavor.Materialized ->
+              Graph.set_supply g gnode ts.remaining;
+              let phi_delay =
+                Cost_model.phi_delay ~waiting ~max_waiting
+                  ~placed:(tg.Poly_req.count - ts.remaining)
+                  ~total:tg.Poly_req.count
+              in
+              ignore
+                (Graph.add_arc g ~src:gnode ~dst:p ~cap:ts.remaining
+                   ~cost:(Cost_model.g_to_p ~phi_delay params));
+              p_cap := !p_cap + ts.remaining
+          | Flavor.Undecided -> undecided_here := (ts, gnode) :: !undecided_here
+          | Flavor.Dropped -> ())
+        tgs;
+      if !undecided_here <> [] then begin
+        let f = mk (Flavor_sel job.poly.Poly_req.job_id) in
+        ignore
+          (Graph.add_arc g ~src:f ~dst:p ~cap:1
+             ~cost:(Cost_model.f_to_p ~phi_w:(Cost_model.phi_w ~waiting params) params));
+        p_cap := !p_cap + 1;
+        flavor_jobs := (job, f, waiting, List.rev !undecided_here) :: !flavor_jobs
+      end;
+      if !p_cap > 0 then ignore (Graph.add_arc g ~src:p ~dst:sink ~cap:!p_cap ~cost:0))
+    selected;
+
+  (* --- flavor estimates and F→G arcs --- *)
+  let sentinel = 6 * params.cost_scale in
+  List.iter
+    (fun ((_job : Pending.job_state), f, waiting, und) ->
+      (* Group the undecided task groups into variants by flavor. *)
+      let variants = Hashtbl.create 4 in
+      List.iter
+        (fun ((ts : Pending.tg_state), gnode) ->
+          let key = Flavor.to_string ts.tg.Poly_req.flavor in
+          let cur = match Hashtbl.find_opt variants key with Some l -> l | None -> [] in
+          Hashtbl.replace variants key ((ts, gnode) :: cur))
+        und;
+      let estimate_of key =
+        let members = Hashtbl.find variants key in
+        List.fold_left
+          (fun acc ((ts : Pending.tg_state), _) ->
+            let c =
+              match Hashtbl.find_opt cheapest_shortcut ts.tg.Poly_req.tg_id with
+              | Some c -> c
+              | None -> sentinel
+            in
+            acc +. (float_of_int c *. float_of_int ts.tg.Poly_req.count))
+          0.0 members
+      in
+      let max_est =
+        Hashtbl.fold (fun key _ acc -> Float.max acc (estimate_of key)) variants 1.0
+      in
+      let job_has_inc_variant =
+        List.exists (fun ((ts : Pending.tg_state), _) -> Poly_req.is_network ts.tg) und
+      in
+      Hashtbl.iter
+        (fun key members ->
+          (* "All parts of a flavor take resource availability into
+             account" (§5.2): a variant with a shortcut-less member has
+             no valid allocation anywhere this round and must not be
+             selectable — otherwise the flavor decision could flow
+             through its feasible sibling group. *)
+          let fully_feasible =
+            List.for_all
+              (fun ((ts : Pending.tg_state), _) ->
+                Hashtbl.mem cheapest_shortcut ts.tg.Poly_req.tg_id)
+              members
+          in
+          if fully_feasible then begin
+            let est = estimate_of key in
+            let is_inc_variant =
+              List.exists
+                (fun ((ts : Pending.tg_state), _) -> Poly_req.is_network ts.tg)
+                members
+            in
+            let cost =
+              Cost_model.f_to_g
+                ~phi_xhat:(Cost_model.phi_xhat ~estimate:est ~max_estimate:max_est)
+                ~phi_pref:(Cost_model.phi_pref ~waiting params)
+                ~fallback:(job_has_inc_variant && not is_inc_variant)
+                params
+            in
+            List.iter
+              (fun (_, gnode) -> ignore (Graph.add_arc g ~src:f ~dst:gnode ~cap:1 ~cost))
+              members
+          end)
+        variants)
+    !flavor_jobs;
+
+  (* --- super selector and sink demand --- *)
+  let n_flavor = List.length !flavor_jobs in
+  let s_supply = min n_flavor params.max_flavor_decisions in
+  if n_flavor > 0 then begin
+    let s = mk Super in
+    Graph.set_supply g s s_supply;
+    List.iter
+      (fun (_, f, _, _) ->
+        ignore (Graph.add_arc g ~src:s ~dst:f ~cap:1 ~cost:(Cost_model.s_to_f params)))
+      !flavor_jobs
+  end;
+  Graph.set_supply g sink (-(total_supply + s_supply));
+  { graph = g; roles; sink }
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  placements : (int * int) list;
+  flavor_picks : (int * int) list;
+  solver : Mcmf.result;
+}
+
+type solver = Ssp | Cost_scaling
+
+let solve_and_extract ?(solver = Ssp) t =
+  let solver =
+    match solver with
+    | Ssp -> Mcmf.solve t.graph
+    | Cost_scaling ->
+        let r = Flow.Cost_scaling.solve t.graph in
+        {
+          Mcmf.shipped = r.Flow.Cost_scaling.shipped;
+          unshipped = r.Flow.Cost_scaling.unshipped;
+          total_cost = r.Flow.Cost_scaling.total_cost;
+          augmentations = r.Flow.Cost_scaling.pushes;
+          elapsed_s = r.Flow.Cost_scaling.elapsed_s;
+        }
+  in
+  let paths = Mcmf.decompose t.graph in
+  let placements = ref [] and flavor_picks = ref [] in
+  List.iter
+    (fun (p : Mcmf.path) ->
+      let roles_on_path = List.map (role t) p.nodes in
+      let group = List.find_opt (function Group _ -> true | _ -> false) roles_on_path in
+      let flavor = List.find_opt (function Flavor_sel _ -> true | _ -> false) roles_on_path in
+      let machine =
+        List.find_opt
+          (function Machine_server _ | Machine_inc _ -> true | _ -> false)
+          roles_on_path
+      in
+      (match (flavor, group) with
+      | Some (Flavor_sel job_id), Some (Group tg_id) ->
+          flavor_picks := (job_id, tg_id) :: !flavor_picks
+      | _ -> ());
+      match (group, machine) with
+      | Some (Group tg_id), Some (Machine_server m) | Some (Group tg_id), Some (Machine_inc m)
+        ->
+          (* M→K capacity is 1, so such a path carries exactly one task. *)
+          for _ = 1 to p.amount do
+            placements := (tg_id, m) :: !placements
+          done
+      | _ -> ())
+    paths;
+  { placements = List.rev !placements; flavor_picks = List.rev !flavor_picks; solver }

@@ -1,0 +1,73 @@
+(** Construction and interpretation of the HIRE flow network (§5.2/§5.3,
+    Fig. 6).
+
+    One network is built per scheduling round over all pending jobs.  It
+    contains:
+
+    - a sink [K] and one super flavor-selector [S];
+    - per job: a postpone node [P] and, while alternatives are open, a
+      flavor selector [F] (edge S→F of capacity 1 — at most one flavor
+      decision per job per round);
+    - per requesting task group: a group node [G].  Materialized groups
+      carry their remaining task count as supply; flavor-undecided groups
+      have supply 0 and are fed through [F];
+    - two copies of the topology: auxiliary server nodes [Nˢ] with server
+      machine leaves [Mˢ], and the INC shadow network [Nⁿ] with switch
+      machine nodes [Mⁿ].  All [M]→[K] edges have capacity 1, so a
+      machine accepts at most one new task per round (the CoCo
+      discipline);
+    - shortcut edges [G]→[Nˢ]/[Mˢ]/[Mⁿ]: a subtree shortcut is added only
+      when *every* server under the subtree can host a task of the group
+      (lower-bound propagation), so all flows end in valid allocations;
+      network groups get direct switch shortcuts filtered by switch
+      support, sharing-aware effective demand, and the switches the group
+      already occupies (a chain must use distinct switches).
+
+    Costs follow the Appendix-A cost model. *)
+
+type node_role =
+  | Super
+  | Flavor_sel of int  (** job id *)
+  | Group of int  (** tg id *)
+  | Postpone of int  (** job id *)
+  | Aux_server of int  (** switch id in the server part *)
+  | Aux_inc of int  (** switch id in the shadow part *)
+  | Machine_server of int  (** server id *)
+  | Machine_inc of int  (** switch id *)
+  | Sink
+
+val pp_role : Format.formatter -> node_role -> unit
+
+type t
+
+val graph : t -> Flow.Graph.t
+val role : t -> int -> node_role
+
+(** (nodes, arcs) of the built network — drives the think-time model. *)
+val size : t -> int * int
+
+(** [build view census ~jobs ~now ~params] assembles the network for the
+    given pending jobs (FIFO-truncated to [params.max_queue_tgs]
+    requesting task groups, as in §6.2). *)
+val build :
+  View.t ->
+  Locality.Task_census.t ->
+  jobs:Pending.job_state list ->
+  now:float ->
+  params:Cost_model.params ->
+  t
+
+type outcome = {
+  placements : (int * int) list;  (** (tg_id, machine id), one task each *)
+  flavor_picks : (int * int) list;
+      (** (job_id, tg_id routed through the job's F node) *)
+  solver : Flow.Mcmf.result;
+}
+
+(** Which exact MCMF algorithm solves the round (the paper's artifact
+    races several solvers; both produce flows of identical cost). *)
+type solver = Ssp | Cost_scaling
+
+(** Solve the MCMF instance and read scheduling decisions back off the
+    flow decomposition. *)
+val solve_and_extract : ?solver:solver -> t -> outcome

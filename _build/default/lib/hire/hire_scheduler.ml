@@ -1,0 +1,222 @@
+type config = {
+  params : Cost_model.params;
+  simple_flavor : bool;
+  solver : Flow_network.solver;
+}
+
+let default_config =
+  { params = Cost_model.default_params; simple_flavor = false; solver = Flow_network.Ssp }
+
+type t = {
+  view : View.t;
+  config : config;
+  jobs : (int, Pending.job_state) Hashtbl.t;
+  census : Locality.Task_census.t;
+  mutable order : int list;  (* job ids, newest first; kept for determinism *)
+}
+
+let create ?(config = default_config) view =
+  {
+    view;
+    config;
+    jobs = Hashtbl.create 64;
+    census = Locality.Task_census.create view.View.topo;
+    order = [];
+  }
+
+let name t = if t.config.simple_flavor then "hire-simple" else "hire"
+
+let submit t ~time:_ poly =
+  let job = Pending.of_poly poly in
+  Hashtbl.replace t.jobs poly.Poly_req.job_id job;
+  t.order <- poly.Poly_req.job_id :: t.order
+
+let job_list t =
+  (* Oldest first. *)
+  List.rev t.order |> List.filter_map (Hashtbl.find_opt t.jobs)
+
+let pending_work t =
+  Hashtbl.fold (fun _ job acc -> acc || Pending.has_pending_work job) t.jobs false
+
+let pending_jobs t = Hashtbl.length t.jobs
+
+type round_outcome = {
+  placements : (Poly_req.task_group * int) list;
+  cancelled : Poly_req.task_group list;
+  fallbacks : int;
+  flavor_decisions : (int * bool) list;
+  solver : Flow.Mcmf.result option;
+  graph_nodes : int;
+  graph_arcs : int;
+}
+
+(* In simple-flavor mode a single decision fixes the whole job: every
+   remaining undecided composite is resolved to the same kind (INC or
+   server) as the first pick.  Returns additionally dropped groups. *)
+let propagate_simple job picked_is_inc =
+  let rec go acc =
+    let next =
+      Pending.undecided job
+      |> List.find_opt (fun (ts : Pending.tg_state) ->
+             Flavor.compatible job.Pending.x_hat ts.tg.Poly_req.flavor
+             && Poly_req.is_network ts.tg = picked_is_inc)
+    in
+    match next with
+    | Some ts -> go (acc @ Pending.decide job ts)
+    | None ->
+        (* Composites without a matching-kind variant fall back to their
+           server variant. *)
+        let fallback =
+          Pending.undecided job
+          |> List.find_opt (fun (ts : Pending.tg_state) ->
+                 Flavor.compatible job.Pending.x_hat ts.tg.Poly_req.flavor
+                 && not (Poly_req.is_network ts.tg))
+        in
+        (match fallback with Some ts -> go (acc @ Pending.decide job ts) | None -> acc)
+  in
+  go []
+
+let cleanup t =
+  let finished =
+    Hashtbl.fold
+      (fun id job acc -> if Pending.has_pending_work job then acc else id :: acc)
+      t.jobs []
+  in
+  List.iter (Hashtbl.remove t.jobs) finished;
+  if finished <> [] then
+    t.order <- List.filter (fun id -> Hashtbl.mem t.jobs id) t.order
+
+(* True while every undecided network group of the job could in
+   principle be hosted: for each group there are enough supporting
+   switches whose *full* capacity covers the demand.  Transient
+   congestion does not count — the alternatives stay open and the flow
+   network keeps arbitrating; only capability-infeasible INC requests
+   (wrong switch features, demand exceeding any switch) are preempted to
+   the server fallback. *)
+let inc_still_feasible t (job : Pending.job_state) =
+  let sharing = t.view.View.sharing in
+  let topo = t.view.View.topo in
+  let capacity = Sharing.capacity sharing in
+  Pending.undecided job
+  |> List.filter (fun ts -> Poly_req.is_network ts.Pending.tg)
+  |> List.for_all (fun (ts : Pending.tg_state) ->
+         match ts.tg.Poly_req.kind with
+         | Poly_req.Server_tg -> true
+         | Poly_req.Network_tg n ->
+             let demand = Prelude.Vec.add n.Poly_req.per_switch ts.tg.Poly_req.demand in
+             let eligible =
+               Array.to_list (Sharing.switch_ids sharing)
+               |> List.filter (fun s ->
+                      let shape_ok =
+                        match n.Poly_req.shape with
+                        | Comp_store.Single_tor ->
+                            Topology.Fat_tree.kind topo s = Topology.Fat_tree.Tor
+                        | _ -> true
+                      in
+                      shape_ok
+                      && Sharing.supports sharing ~switch:s ~service:n.Poly_req.service
+                      && Prelude.Vec.fits ~demand ~available:capacity)
+             in
+             (* A group of [remaining] slots needs that many distinct
+                switches beyond the ones it already occupies. *)
+             List.length (List.filter (fun s -> not (List.mem s ts.placed_on)) eligible)
+             >= ts.remaining)
+
+let run_round t ~time =
+  let params = t.config.params in
+  let cancelled = ref [] in
+  let fallbacks = ref 0 in
+  (* Flavor timeout (Φpref upper bound): preempt the flavor decision "in
+     case of congested resources" — jobs whose INC parts have become
+     unsatisfiable fall back to the server variant after waiting out the
+     upper bound. *)
+  List.iter
+    (fun (job : Pending.job_state) ->
+      if
+        (not job.inc_flavor_locked)
+        && Pending.flavor_open job
+        && time -. job.poly.Poly_req.arrival >= params.pref_upper
+        && not (inc_still_feasible t job)
+      then begin
+        let dropped = Pending.force_server_fallback job in
+        incr fallbacks;
+        cancelled := !cancelled @ List.map (fun ts -> ts.Pending.tg) dropped
+      end)
+    (job_list t);
+  let jobs = job_list t in
+  if not (List.exists Pending.has_pending_work jobs) then begin
+    cleanup t;
+    {
+      placements = [];
+      cancelled = !cancelled;
+      fallbacks = !fallbacks;
+      flavor_decisions = [];
+      solver = None;
+      graph_nodes = 0;
+      graph_arcs = 0;
+    }
+  end
+  else begin
+    let net = Flow_network.build t.view t.census ~jobs ~now:time ~params in
+    let nodes, arcs = Flow_network.size net in
+    let outcome = Flow_network.solve_and_extract ~solver:t.config.solver net in
+    let decisions = ref [] in
+    (* Apply flavor picks first so picked groups materialize. *)
+    List.iter
+      (fun (job_id, tg_id) ->
+        match Hashtbl.find_opt t.jobs job_id with
+        | None -> ()
+        | Some job -> (
+            match Pending.find_tg job tg_id with
+            | None -> ()
+            | Some ts ->
+                if Pending.status job ts = Flavor.Undecided then begin
+                  decisions := (job_id, Poly_req.is_network ts.tg) :: !decisions;
+                  let dropped = Pending.decide job ts in
+                  cancelled := !cancelled @ List.map (fun d -> d.Pending.tg) dropped;
+                  if t.config.simple_flavor then begin
+                    let dropped' = propagate_simple job (Poly_req.is_network ts.tg) in
+                    cancelled :=
+                      !cancelled @ List.map (fun d -> d.Pending.tg) dropped'
+                  end
+                end))
+      outcome.flavor_picks;
+    (* Then task placements. *)
+    let placements =
+      List.filter_map
+        (fun (tg_id, machine) ->
+          let found =
+            Hashtbl.fold
+              (fun _ job acc ->
+                match acc with Some _ -> acc | None -> (
+                  match Pending.find_tg job tg_id with
+                  | Some ts when Pending.status job ts = Flavor.Materialized
+                                 && ts.Pending.remaining > 0 ->
+                      Some (job, ts)
+                  | _ -> None))
+              t.jobs None
+          in
+          match found with
+          | None -> None
+          | Some (job, ts) ->
+              Pending.place job ts ~machine;
+              Locality.Task_census.add t.census ~tg_id ~machine;
+              Some (ts.Pending.tg, machine))
+        outcome.placements
+    in
+    cleanup t;
+    {
+      placements;
+      cancelled = !cancelled;
+      fallbacks = !fallbacks;
+      flavor_decisions = List.rev !decisions;
+      solver = Some outcome.solver;
+      graph_nodes = nodes;
+      graph_arcs = arcs;
+    }
+  end
+
+let on_task_complete t ~tg_id ~machine =
+  Locality.Task_census.remove t.census ~tg_id ~machine
+
+let census t = t.census

@@ -1,0 +1,55 @@
+(** The HIRE scheduler (§5): drives one flow-network round per
+    invocation, tracks pending PolyReqs, applies flavor decisions, and
+    reports placements for the cluster to execute.
+
+    The scheduler owns only scheduling state (pending jobs, active
+    flavors, the task census feeding the locality cost terms); resource
+    ledgers are owned by the caller and read through {!View.t}. *)
+
+type config = {
+  params : Cost_model.params;
+  simple_flavor : bool;
+      (** the paper's ablation (§6.3): decide once per job whether the
+          whole PolyReq runs with INC or without *)
+  solver : Flow_network.solver;  (** MCMF algorithm for the rounds *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> View.t -> t
+val name : t -> string
+
+(** Register a new PolyReq at [time]. *)
+val submit : t -> time:float -> Poly_req.t -> unit
+
+(** Some submitted task group still has tasks to place. *)
+val pending_work : t -> bool
+
+(** Number of jobs currently tracked. *)
+val pending_jobs : t -> int
+
+type round_outcome = {
+  placements : (Poly_req.task_group * int) list;
+      (** one task of the group on the machine — the caller must charge
+          its ledgers accordingly *)
+  cancelled : Poly_req.task_group list;
+      (** groups dropped by flavor decisions this round *)
+  fallbacks : int;  (** jobs whose flavor timed out to the server variant *)
+  flavor_decisions : (int * bool) list;
+      (** (job_id, decided variant contains INC) flavor picks this round *)
+  solver : Flow.Mcmf.result option;  (** [None] when there was nothing to do *)
+  graph_nodes : int;
+  graph_arcs : int;
+}
+
+(** Execute one scheduling round at simulation time [time]. *)
+val run_round : t -> time:float -> round_outcome
+
+(** Notify that a task of [tg_id] finished on [machine] (updates the
+    locality census). *)
+val on_task_complete : t -> tg_id:int -> machine:int -> unit
+
+(** The census (exposed for tests). *)
+val census : t -> Locality.Task_census.t

@@ -1,0 +1,158 @@
+module Fat_tree = Topology.Fat_tree
+
+module Task_census = struct
+  (* Per task group we keep counts by machine plus rollups by ToR and by
+     pod, so [count_under] answers in O(1) for any node of the
+     hierarchy.  A machine is tagged (tor, pod) as follows: servers and
+     ToRs by their own ToR; aggs by their pod only; cores by neither. *)
+  type group_counts = {
+    by_machine : (int, int) Hashtbl.t;
+    by_tor : (int, int) Hashtbl.t;
+    by_pod : (int, int) Hashtbl.t;
+    mutable total : int;
+  }
+
+  type t = { topo : Fat_tree.t; groups : (int, group_counts) Hashtbl.t }
+
+  let create topo = { topo; groups = Hashtbl.create 64 }
+
+  let group t tg_id =
+    match Hashtbl.find_opt t.groups tg_id with
+    | Some g -> g
+    | None ->
+        let g =
+          {
+            by_machine = Hashtbl.create 8;
+            by_tor = Hashtbl.create 8;
+            by_pod = Hashtbl.create 8;
+            total = 0;
+          }
+        in
+        Hashtbl.replace t.groups tg_id g;
+        g
+
+  let bump tbl key delta =
+    let v = (match Hashtbl.find_opt tbl key with Some v -> v | None -> 0) + delta in
+    if v <= 0 then Hashtbl.remove tbl key else Hashtbl.replace tbl key v
+
+  let tags t machine =
+    let open Fat_tree in
+    match kind t.topo machine with
+    | Server -> (Some (tor_of_server t.topo machine), Some (node t.topo machine).pod)
+    | Tor -> (Some machine, Some (node t.topo machine).pod)
+    | Agg -> (None, Some (node t.topo machine).pod)
+    | Core -> (None, None)
+
+  let adjust t ~tg_id ~machine delta =
+    let g = group t tg_id in
+    bump g.by_machine machine delta;
+    let tor, pod = tags t machine in
+    (match tor with Some x -> bump g.by_tor x delta | None -> ());
+    (match pod with Some p -> bump g.by_pod p delta | None -> ());
+    g.total <- g.total + delta;
+    if g.total < 0 then invalid_arg "Task_census: negative total"
+
+  let add t ~tg_id ~machine = adjust t ~tg_id ~machine 1
+  let remove t ~tg_id ~machine = adjust t ~tg_id ~machine (-1)
+
+  let count_under t ~tg_id ~node =
+    match Hashtbl.find_opt t.groups tg_id with
+    | None -> 0
+    | Some g -> (
+        let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0 in
+        match Fat_tree.kind t.topo node with
+        | Fat_tree.Core -> g.total
+        | Fat_tree.Agg -> get g.by_pod (Fat_tree.node t.topo node).pod
+        | Fat_tree.Tor -> get g.by_tor node
+        | Fat_tree.Server -> get g.by_machine node)
+
+  let total t ~tg_id =
+    match Hashtbl.find_opt t.groups tg_id with None -> 0 | Some g -> g.total
+
+  let machines t ~tg_id =
+    match Hashtbl.find_opt t.groups tg_id with
+    | None -> []
+    | Some g -> Hashtbl.fold (fun m c acc -> (m, c) :: acc) g.by_machine [] |> List.sort compare
+
+  let switches t ~tg_id =
+    List.filter_map
+      (fun (m, _) -> if Fat_tree.is_switch t.topo m then Some m else None)
+      (machines t ~tg_id)
+
+  let clear_group t ~tg_id = Hashtbl.remove t.groups tg_id
+end
+
+let upsilon topo census ~tg_ids ~node ~group_size =
+  if group_size <= 0 then 1.0
+  else begin
+    let total_related tg_node =
+      List.fold_left
+        (fun acc tg_id -> acc + Task_census.count_under census ~tg_id ~node:tg_node)
+        0 tg_ids
+    in
+    let gs = float_of_int group_size in
+    (* Recursive Eq. 6: average over children of "related tasks missing
+       from that child's subtree". *)
+    let rec go n =
+      if Fat_tree.is_server topo n then
+        Float.min 1.0 (float_of_int (max 0 (group_size - total_related n)) /. gs)
+      else begin
+        match Fat_tree.children topo n with
+        | [] -> 1.0
+        | kids ->
+            let sum =
+              List.fold_left
+                (fun acc kid ->
+                  acc
+                  +.
+                  if Fat_tree.is_server topo kid then
+                    float_of_int (max 0 (group_size - total_related kid)) /. gs
+                  else go kid)
+                0.0 kids
+            in
+            sum /. float_of_int (List.length kids)
+      end
+    in
+    Float.max 0.0 (Float.min 1.0 (go node))
+  end
+
+module Gain = struct
+  type t = { table : (int, int) Hashtbl.t; max_gain : int }
+
+  let inc_loc_prop topo table ~start ~gamma ~xi =
+    let visited = Hashtbl.create 32 in
+    let visit = ref [ start ] in
+    let g = ref gamma in
+    while !g > 0 && !visit <> [] do
+      let next = ref [] in
+      List.iter
+        (fun n ->
+          if not (Hashtbl.mem visited n) then begin
+            Hashtbl.replace visited n ();
+            let cur = match Hashtbl.find_opt table n with Some v -> v | None -> 0 in
+            Hashtbl.replace table n (cur + !g);
+            List.iter
+              (fun nb -> if Topology.Fat_tree.is_switch topo nb then next := nb :: !next)
+              (Topology.Fat_tree.neighbors topo n)
+          end)
+        !visit;
+      visit := List.filter (fun n -> not (Hashtbl.mem visited n)) !next;
+      g := !g / xi
+    done
+
+  let compute topo census ~related ~gamma ~xi =
+    if xi <= 1 then invalid_arg "Gain.compute: xi must be > 1";
+    let table = Hashtbl.create 64 in
+    let sources =
+      List.concat_map (fun tg_id -> Task_census.switches census ~tg_id) related
+      |> List.sort_uniq compare
+    in
+    List.iter (fun s -> inc_loc_prop topo table ~start:s ~gamma ~xi) sources;
+    let max_gain = Hashtbl.fold (fun _ v acc -> max v acc) table 0 in
+    { table; max_gain }
+
+  let at t node = match Hashtbl.find_opt t.table node with Some v -> v | None -> 0
+
+  let normalized t node =
+    if t.max_gain <= 0 then 0.0 else float_of_int (at t node) /. float_of_int t.max_gain
+end

@@ -1,0 +1,103 @@
+module Vec = Prelude.Vec
+module Fat_tree = Topology.Fat_tree
+
+type sw_state = {
+  avail : Vec.t;  (* mutated in place *)
+  supported : (string, unit) Hashtbl.t;
+  counts : (string, int) Hashtbl.t;  (* running instances per service *)
+  registered : (string, Vec.t) Hashtbl.t;  (* per-switch part currently charged *)
+}
+
+type t = { cap : Vec.t; states : (int, sw_state) Hashtbl.t; ids : int array }
+
+let create ~topo ~capacity ~supported =
+  let ids = Fat_tree.switches topo in
+  let states = Hashtbl.create (Array.length ids) in
+  Array.iter
+    (fun id ->
+      let sup = Hashtbl.create 8 in
+      List.iter (fun s -> Hashtbl.replace sup s ()) (supported id);
+      Hashtbl.replace states id
+        {
+          avail = Vec.copy capacity;
+          supported = sup;
+          counts = Hashtbl.create 4;
+          registered = Hashtbl.create 4;
+        })
+    ids;
+  { cap = Vec.copy capacity; states; ids }
+
+let state t switch =
+  match Hashtbl.find_opt t.states switch with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Sharing: %d is not a switch" switch)
+
+let capacity t = Vec.copy t.cap
+let available t switch = Vec.copy (state t switch).avail
+let supports t ~switch ~service = Hashtbl.mem (state t switch).supported service
+
+let supported_services t switch =
+  Hashtbl.fold (fun k () acc -> k :: acc) (state t switch).supported [] |> List.sort compare
+
+let active_services t switch =
+  Hashtbl.fold (fun k c acc -> if c > 0 then k :: acc else acc) (state t switch).counts []
+  |> List.sort compare
+
+let n_active t switch = List.length (active_services t switch)
+
+let instances t ~switch ~service =
+  match Hashtbl.find_opt (state t switch).counts service with Some c -> c | None -> 0
+
+let effective_demand t ~switch ~service ~per_switch ~per_instance =
+  if instances t ~switch ~service > 0 then Vec.copy per_instance
+  else Vec.add per_switch per_instance
+
+let can_place t ~switch ~service ~per_switch ~per_instance =
+  supports t ~switch ~service
+  && Vec.fits
+       ~demand:(effective_demand t ~switch ~service ~per_switch ~per_instance)
+       ~available:(state t switch).avail
+
+let place t ~switch ~service ~per_switch ~per_instance =
+  if not (can_place t ~switch ~service ~per_switch ~per_instance) then
+    invalid_arg
+      (Printf.sprintf "Sharing.place: service %s does not fit on switch %d" service switch);
+  let st = state t switch in
+  let first = instances t ~switch ~service = 0 in
+  Vec.sub_into st.avail per_instance;
+  if first then begin
+    Vec.sub_into st.avail per_switch;
+    Hashtbl.replace st.registered service (Vec.copy per_switch)
+  end;
+  Hashtbl.replace st.counts service (instances t ~switch ~service + 1)
+
+let release t ~switch ~service ~per_instance =
+  let st = state t switch in
+  let c = instances t ~switch ~service in
+  if c <= 0 then
+    invalid_arg
+      (Printf.sprintf "Sharing.release: no instance of %s on switch %d" service switch);
+  Vec.add_into st.avail per_instance;
+  if c = 1 then begin
+    (match Hashtbl.find_opt st.registered service with
+    | Some reg -> Vec.add_into st.avail reg
+    | None -> ());
+    Hashtbl.remove st.registered service;
+    Hashtbl.remove st.counts service
+  end
+  else Hashtbl.replace st.counts service (c - 1)
+
+let utilization t switch =
+  let st = state t switch in
+  Topology.Resource.utilization ~capacity:t.cap ~available:st.avail
+
+let total_used t =
+  let acc = Vec.zero (Vec.dim t.cap) in
+  Array.iter
+    (fun id ->
+      let st = state t id in
+      Vec.add_into acc (Vec.sub t.cap st.avail))
+    t.ids;
+  acc
+
+let switch_ids t = t.ids

@@ -1,0 +1,151 @@
+module Vec = Prelude.Vec
+module Rng = Prelude.Rng
+
+module Id_gen = struct
+  type t = { mutable next : int }
+
+  let create ?(first = 0) () = { next = first }
+
+  let fresh t =
+    let id = t.next in
+    t.next <- t.next + 1;
+    id
+end
+
+(* One variant of a composite before flavor finalization. *)
+type proto_tg = {
+  comp_id : string;
+  kind : Poly_req.kind;
+  count : int;
+  demand : Vec.t;
+  duration : float;
+}
+
+let server_proto (c : Comp_req.composite) =
+  {
+    comp_id = c.comp_id;
+    kind = Poly_req.Server_tg;
+    count = c.base.instances;
+    demand = Vec.of_list [ c.base.cpu; c.base.mem ];
+    duration = c.base.duration;
+  }
+
+(* The INC variant: reduced server group + network group(s). *)
+let inc_protos store rng (c : Comp_req.composite) service_name =
+  let svc = Comp_store.service_exn store service_name in
+  let group_size = c.base.instances in
+  let saved = int_of_float (Float.round (float_of_int group_size *. svc.server_saving)) in
+  let reduced_count = max 1 (group_size - saved) in
+  let reduced_duration = c.base.duration *. (1.0 -. svc.duration_saving) in
+  let server_part =
+    {
+      comp_id = c.comp_id;
+      kind = Poly_req.Server_tg;
+      count = reduced_count;
+      demand = Vec.of_list [ c.base.cpu; c.base.mem ];
+      duration = reduced_duration;
+    }
+  in
+  let n_switches = max 1 (svc.switch_count ~group_size) in
+  let demand = Comp_store.draw_instance_demand svc rng ~group_size in
+  let network role count =
+    {
+      comp_id = c.comp_id;
+      kind =
+        Poly_req.Network_tg
+          { service = svc.name; shape = svc.shape; per_switch = svc.per_switch; role };
+      count;
+      demand;
+      duration = reduced_duration;
+    }
+  in
+  let network_parts =
+    match svc.shape with
+    | Comp_store.Spine_leaf ->
+        (* Two-tier overlay (Fig. 4c): a small spine plus ToR leaves. *)
+        let spine = max 1 (n_switches / 3) in
+        let leaf = max 1 (n_switches - spine) in
+        [ network "spine" spine; network "leaf" leaf ]
+    | Comp_store.Single | Comp_store.Single_tor | Comp_store.Chain | Comp_store.Tree ->
+        [ network "" n_switches ]
+  in
+  server_part :: network_parts
+
+let transform store ids rng ~job_id ~arrival (req : Comp_req.t) =
+  (match Comp_req.validate store req with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Transformer.transform: " ^ msg));
+  let builder = Flavor.Builder.create () in
+  (* Phase 1: expand variants and record flavor fragments. *)
+  let expanded =
+    List.map
+      (fun (c : Comp_req.composite) ->
+        match c.inc_alternatives with
+        | [] -> (c.comp_id, [ ([ server_proto c ], []) ])
+        | alts ->
+            let n = 1 + List.length alts in
+            let fragments = Flavor.Builder.alternatives builder n in
+            let variants =
+              ([ server_proto c ], fragments.(0))
+              :: List.mapi
+                   (fun i svc -> (inc_protos store rng c svc, fragments.(i + 1)))
+                   alts
+            in
+            (c.comp_id, variants))
+      req.composites
+  in
+  (* Phase 2: allocate tg ids and finalize flavors. *)
+  let groups_by_comp = Hashtbl.create 8 in
+  let tgs =
+    List.concat_map
+      (fun (comp_id, variants) ->
+        List.concat_map
+          (fun (protos, fragment) ->
+            let flavor = Flavor.Builder.finalize builder fragment in
+            List.map
+              (fun p ->
+                let tg_id = Id_gen.fresh ids in
+                Hashtbl.add groups_by_comp comp_id tg_id;
+                ( tg_id,
+                  {
+                    Poly_req.tg_id;
+                    job_id;
+                    comp_id = p.comp_id;
+                    kind = p.kind;
+                    count = p.count;
+                    demand = p.demand;
+                    duration = p.duration;
+                    flavor;
+                    connected = [];
+                  } ))
+              protos)
+          variants)
+      expanded
+  in
+  (* Phase 3: connections — within a composite and across connected
+     composites.  Flavor compatibility is checked at use time by the
+     scheduler; here we record the full communication graph. *)
+  let comp_neighbors = Hashtbl.create 8 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.add comp_neighbors a b;
+      Hashtbl.add comp_neighbors b a)
+    req.connections;
+  let connected_of comp_id self_id =
+    let same_comp = Hashtbl.find_all groups_by_comp comp_id in
+    let neighbor_comps = Hashtbl.find_all comp_neighbors comp_id in
+    let other = List.concat_map (Hashtbl.find_all groups_by_comp) neighbor_comps in
+    List.filter (fun id -> id <> self_id) (List.sort_uniq compare (same_comp @ other))
+  in
+  let task_groups =
+    List.map
+      (fun (tg_id, tg) -> { tg with Poly_req.connected = connected_of tg.Poly_req.comp_id tg_id })
+      tgs
+  in
+  {
+    Poly_req.job_id;
+    priority = req.priority;
+    arrival;
+    flavor_len = Flavor.Builder.size builder;
+    task_groups;
+  }

@@ -1,0 +1,37 @@
+(** The model transformer (§4.4): CompReq → PolyReq.
+
+    For every composite the transformer emits one set of task groups per
+    implementation variant and wires them into the job's flavor space:
+
+    - the server-based implementation becomes one server task group;
+    - an INC alternative becomes the composite's *reduced* server task
+      group (the paper models up to 10% server/runtime savings, §6.2)
+      plus one or two network task groups whose switch count, overlay
+      shape and resource demands come from the service's CompStore
+      profile (Tab. 3) — two groups ("spine"/"leaf") for [Spine_leaf]
+      services such as DistCache (Fig. 4c);
+    - variants of the same composite receive one-hot flavor fragments so
+      exactly one is materialized at runtime ([alt]);
+    - task groups of the same composite, and of composites connected in
+      the CompReq, are marked as connected ([loc]). *)
+
+(** Generator of simulation-unique task-group ids. *)
+module Id_gen : sig
+  type t
+
+  val create : ?first:int -> unit -> t
+  val fresh : t -> int
+end
+
+(** [transform store ids rng ~job_id ~arrival req] expands [req].
+    Per-instance INC demands are drawn from the service ranges using
+    [rng].  Raises [Invalid_argument] if [req] does not validate against
+    [store]. *)
+val transform :
+  Comp_store.t ->
+  Id_gen.t ->
+  Prelude.Rng.t ->
+  job_id:int ->
+  arrival:float ->
+  Comp_req.t ->
+  Poly_req.t

@@ -1,0 +1,9 @@
+type t = {
+  topo : Topology.Fat_tree.t;
+  server_capacity : Prelude.Vec.t;
+  server_available : int -> Prelude.Vec.t;
+  sharing : Sharing.t;
+}
+
+let server_utilization t id =
+  Topology.Resource.utilization ~capacity:t.server_capacity ~available:(t.server_available id)

@@ -1,0 +1,15 @@
+(** A scheduler's read view of cluster state: the topology, the server
+    ledger (capacity and per-server remaining resources), and the switch
+    ledger with sharing state.  The simulator provides a concrete
+    instance; keeping it abstract here lets the HIRE core stay
+    independent of the simulation engine. *)
+
+type t = {
+  topo : Topology.Fat_tree.t;
+  server_capacity : Prelude.Vec.t;
+  server_available : int -> Prelude.Vec.t;  (** by server node id *)
+  sharing : Sharing.t;
+}
+
+(** Per-dimension used fraction of one server. *)
+val server_utilization : t -> int -> Prelude.Vec.t

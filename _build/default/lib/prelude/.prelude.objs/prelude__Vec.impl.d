@@ -1,0 +1,1 @@
+lib/prelude/vec.ml: Array Float Format Printf Stats String

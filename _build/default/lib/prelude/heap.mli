@@ -1,0 +1,26 @@
+(** Imperative binary min-heap, parameterised by an ordering.
+
+    Used by the MCMF solver (Dijkstra priority queue) and by the
+    discrete-event simulator (pending-event queue). *)
+
+type 'a t
+
+(** [create ~cmp] makes an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** [pop t] removes and returns the minimum element.
+    @raise Not_found when empty. *)
+val pop : 'a t -> 'a
+
+(** [peek t] returns the minimum without removing it.
+    @raise Not_found when empty. *)
+val peek : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+(** [to_list t] returns the elements in unspecified order. *)
+val to_list : 'a t -> 'a list

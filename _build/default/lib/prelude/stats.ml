@@ -1,0 +1,96 @@
+let mean_arr xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let mean xs = mean_arr (Array.of_list xs)
+
+let stddev_arr xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean_arr xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int n)
+  end
+
+let stddev xs = stddev_arr (Array.of_list xs)
+
+let percentile_sorted p sorted =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let percentile p xs =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  percentile_sorted p arr
+
+let percentiles ps xs =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  List.map (fun p -> (p, percentile_sorted p arr)) ps
+
+let cdf_points ~points xs =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n = 0 then []
+  else
+    List.init points (fun i ->
+        let frac = float_of_int (i + 1) /. float_of_int points in
+        let idx = min (n - 1) (int_of_float (ceil (frac *. float_of_int n)) - 1) in
+        (arr.(max 0 idx), frac))
+
+let ccdf_points ~points xs =
+  List.map (fun (v, f) -> (v, 1.0 -. f)) (cdf_points ~points xs)
+
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable total : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () = { count = 0; total = 0.0; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then 0.0 else t.total /. float_of_int t.count
+  let min t = t.min_v
+  let max t = t.max_v
+end
+
+module Reservoir = struct
+  type t = { rng : Rng.t; capacity : int; mutable seen : int; buf : float array }
+
+  let create ?(capacity = 20_000) rng =
+    if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+    { rng; capacity; seen = 0; buf = Array.make capacity 0.0 }
+
+  let add t x =
+    if t.seen < t.capacity then t.buf.(t.seen) <- x
+    else begin
+      (* Vitter's algorithm R: replace a random slot with decaying
+         probability capacity/seen. *)
+      let j = Rng.int t.rng (t.seen + 1) in
+      if j < t.capacity then t.buf.(j) <- x
+    end;
+    t.seen <- t.seen + 1
+
+  let count t = t.seen
+  let samples t = Array.to_list (Array.sub t.buf 0 (min t.seen t.capacity))
+end

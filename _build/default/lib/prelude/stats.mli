@@ -1,0 +1,57 @@
+(** Summary statistics used by metrics collection and the experiment
+    harness (means, standard deviations, percentiles, CDF/CCDF tables,
+    online accumulators). *)
+
+(** [mean xs] is the arithmetic mean; 0 on the empty list. *)
+val mean : float list -> float
+
+val mean_arr : float array -> float
+
+(** [stddev xs] is the population standard deviation; 0 on fewer than two
+    samples. *)
+val stddev : float list -> float
+
+val stddev_arr : float array -> float
+
+(** [percentile p xs] is the [p]-th percentile ([p] in [\[0,100\]]) using
+    linear interpolation between order statistics.  Raises
+    [Invalid_argument] on an empty list. *)
+val percentile : float -> float list -> float
+
+(** [percentiles ps xs] computes several percentiles with a single
+    sort. *)
+val percentiles : float list -> float list -> (float * float) list
+
+(** [cdf_points ~points xs] returns [points] evenly spaced (value,
+    cumulative-fraction) pairs describing the empirical CDF. *)
+val cdf_points : points:int -> float list -> (float * float) list
+
+(** [ccdf_points ~points xs] is the complementary CDF (value, 1 - F). *)
+val ccdf_points : points:int -> float list -> (float * float) list
+
+(** Online mean/min/max/count accumulator. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val min : t -> float  (** [infinity] when empty *)
+
+  val max : t -> float  (** [neg_infinity] when empty *)
+end
+
+(** Reservoir sampler keeping at most [capacity] uniformly-chosen samples
+    out of an unbounded stream; used for latency distributions in long
+    simulations. *)
+module Reservoir : sig
+  type t
+
+  val create : ?capacity:int -> Rng.t -> t
+  val add : t -> float -> unit
+  val count : t -> int  (** total observations, not just retained ones *)
+
+  val samples : t -> float list
+end

@@ -1,0 +1,1 @@
+lib/schedulers/coco_pp.ml: Array Flow Hashtbl Hire List Modes Sim

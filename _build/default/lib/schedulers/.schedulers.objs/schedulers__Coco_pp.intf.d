@@ -1,0 +1,1 @@
+lib/schedulers/coco_pp.mli: Sim

@@ -1,0 +1,1 @@
+lib/schedulers/hire_adapter.ml: Flow Hire List Option Sim

@@ -1,0 +1,1 @@
+lib/schedulers/hire_adapter.mli: Hire Sim

@@ -1,0 +1,1 @@
+lib/schedulers/k8_pp.ml: Array Hire List Modes Option Policy_util Prelude Queue_base Sim

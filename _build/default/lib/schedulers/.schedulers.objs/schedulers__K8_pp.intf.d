@@ -1,0 +1,1 @@
+lib/schedulers/k8_pp.mli: Modes Sim

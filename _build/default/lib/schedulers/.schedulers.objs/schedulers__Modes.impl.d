@@ -1,0 +1,1 @@
+lib/schedulers/modes.ml: Float Hashtbl Hire List

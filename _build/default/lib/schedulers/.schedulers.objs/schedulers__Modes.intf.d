@@ -1,0 +1,1 @@
+lib/schedulers/modes.mli: Hire

@@ -1,0 +1,1 @@
+lib/schedulers/policy_util.ml: Hire List Modes Prelude Sim Topology

@@ -1,0 +1,1 @@
+lib/schedulers/policy_util.mli: Hire Modes Prelude Sim

@@ -1,0 +1,1 @@
+lib/schedulers/queue_base.ml: Hire List Modes Sim

@@ -1,0 +1,1 @@
+lib/schedulers/queue_base.mli: Modes Sim

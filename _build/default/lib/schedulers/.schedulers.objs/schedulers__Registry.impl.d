@@ -1,0 +1,1 @@
+lib/schedulers/registry.ml: Coco_pp Hire Hire_adapter K8_pp Modes Printf Sparrow_pp Yarn_pp

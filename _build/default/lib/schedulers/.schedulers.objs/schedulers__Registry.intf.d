@@ -1,0 +1,1 @@
+lib/schedulers/registry.mli: Sim

@@ -1,0 +1,1 @@
+lib/schedulers/sparrow_pp.ml: Array Hashtbl Hire List Modes Policy_util Prelude Queue Seq Sim

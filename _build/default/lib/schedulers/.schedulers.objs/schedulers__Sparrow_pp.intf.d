@@ -1,0 +1,1 @@
+lib/schedulers/sparrow_pp.mli: Modes Sim

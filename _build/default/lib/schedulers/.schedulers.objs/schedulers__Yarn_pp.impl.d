@@ -1,0 +1,1 @@
+lib/schedulers/yarn_pp.ml: Array Hire List Modes Policy_util Queue_base Sim Topology Workload

@@ -1,0 +1,1 @@
+lib/schedulers/yarn_pp.mli: Modes Sim

@@ -1,0 +1,109 @@
+module Poly_req = Hire.Poly_req
+module Flavor = Hire.Flavor
+module Pending = Hire.Pending
+module Flow_network = Hire.Flow_network
+
+(* Flow-based schedulers' think time scales with the network size (the
+   paper sets it "as a function of flow network statistics"). *)
+let think_of ~nodes ~arcs = 0.0005 +. (3e-7 *. float_of_int (nodes + arcs))
+
+let params =
+  {
+    Hire.Cost_model.default_params with
+    locality_aware = false;
+    sharing_aware = false;
+    max_flavor_decisions = 0;
+  }
+
+(* Fabricate a fully-materialized Pending job from the currently active
+   variant of a mode-managed job. *)
+let pending_of_active (job : Modes.mjob) rts =
+  let strip (rt : Modes.tg_rt) = { rt.tg with Poly_req.flavor = Flavor.all_x 0 } in
+  let tg_states =
+    List.map
+      (fun (rt : Modes.tg_rt) ->
+        { Pending.tg = strip rt; remaining = rt.remaining; placed_on = rt.placed_on })
+      rts
+  in
+  {
+    Pending.poly =
+      { job.poly with Poly_req.task_groups = List.map strip rts; flavor_len = 0 };
+    x_hat = Flavor.all_x 0;
+    tg_states = Array.of_list tg_states;
+    inc_flavor_locked = true;
+  }
+
+let create cluster =
+  let modes = Modes.create Modes.Timeout in
+  let view = Sim.Cluster.view cluster in
+  (* CoCo++ has no locality bookkeeping: the census stays empty. *)
+  let census = Hire.Locality.Task_census.create (Sim.Cluster.topo cluster) in
+  let submit ~time poly = Modes.submit modes ~time poly in
+  let round ~time =
+    let cancelled = ref (Modes.tick modes ~time) in
+    let rt_of_tg = Hashtbl.create 64 in
+    let pjobs =
+      List.filter_map
+        (fun job ->
+          match Modes.active_tgs modes job with
+          | [] -> None
+          | rts ->
+              List.iter
+                (fun (rt : Modes.tg_rt) ->
+                  Hashtbl.replace rt_of_tg rt.tg.Poly_req.tg_id (job, rt))
+                rts;
+              Some (pending_of_active job rts))
+        (Modes.jobs modes)
+    in
+    if pjobs = [] then begin
+      Modes.cleanup modes;
+      {
+        Sim.Scheduler_intf.placements = [];
+        cancelled = !cancelled;
+        think = 0.0005;
+        solver_wall = None;
+      }
+    end
+    else begin
+      let net = Flow_network.build view census ~jobs:pjobs ~now:time ~params in
+      let nodes, arcs = Flow_network.size net in
+      let outcome = Flow_network.solve_and_extract net in
+      let placements =
+        List.filter_map
+          (fun (tg_id, machine) ->
+            match Hashtbl.find_opt rt_of_tg tg_id with
+            | None -> None
+            | Some (job, rt) when rt.Modes.remaining > 0 ->
+                let charged =
+                  match rt.tg.Poly_req.kind with
+                  | Poly_req.Server_tg ->
+                      Sim.Cluster.place_server_task cluster ~server:machine
+                        ~demand:rt.tg.Poly_req.demand;
+                      None
+                  | Poly_req.Network_tg _ ->
+                      Some
+                        (Sim.Cluster.place_network_task cluster ~switch:machine ~tg:rt.tg
+                           ~shared:false)
+                in
+                let dropped = Modes.note_placement modes ~time job rt ~machine in
+                cancelled := !cancelled @ dropped;
+                Some { Sim.Scheduler_intf.tg = rt.tg; machine; shared = false; charged }
+            | Some _ -> None)
+          outcome.placements
+      in
+      Modes.cleanup modes;
+      {
+        Sim.Scheduler_intf.placements;
+        cancelled = !cancelled;
+        think = think_of ~nodes ~arcs;
+        solver_wall = Some outcome.solver.Flow.Mcmf.elapsed_s;
+      }
+    end
+  in
+  {
+    Sim.Scheduler_intf.name = "coco-timeout";
+    submit;
+    round;
+    pending = (fun () -> Modes.pending modes);
+    on_task_complete = (fun ~time:_ ~tg:_ ~machine:_ -> ());
+  }

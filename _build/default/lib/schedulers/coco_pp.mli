@@ -1,0 +1,12 @@
+(** CoCo++ (§6.1): a flow-based scheduler with a CoCo/Firmament-style
+    network and cost model, using the same MCMF solver as HIRE.
+
+    Retrofit limitations, as in the paper: it cannot handle job
+    alternatives within a scheduling round (so it runs only in timeout
+    mode via {!Modes}), it ignores topology locality, and it cannot track
+    INC resource reuse (every instance is charged the full registration).
+    INC compatibility is still respected — switches are reachable only
+    for groups whose service they support ("one virtual rack per INC
+    service"). *)
+
+val create : Sim.Cluster.t -> Sim.Scheduler_intf.t

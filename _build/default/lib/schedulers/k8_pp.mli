@@ -1,0 +1,9 @@
+(** K8++ (§6.1): a queue-based best-effort policy inspired by
+    Kubernetes' default scheduler.  For each request it resumes a
+    round-robin cursor over the machines, collects feasible candidates
+    until it has seen 5% of the fleet that fits (sampling at most 10% of
+    machines before settling for whatever was found), scores them with
+    the default multi-dimensional cost model (least-requested combined
+    with balanced-allocation), and allocates the best. *)
+
+val create : mode:Modes.mode -> Sim.Cluster.t -> Sim.Scheduler_intf.t

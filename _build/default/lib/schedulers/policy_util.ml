@@ -1,0 +1,48 @@
+module Poly_req = Hire.Poly_req
+module Vec = Prelude.Vec
+module Fat_tree = Topology.Fat_tree
+
+let unshared_parts (tg : Poly_req.task_group) =
+  match tg.kind with
+  | Poly_req.Server_tg -> invalid_arg "Policy_util.unshared_parts: not a network group"
+  | Poly_req.Network_tg n ->
+      (n.service, Vec.zero (Vec.dim tg.demand), Vec.add n.per_switch tg.demand)
+
+let server_fits cluster ~server ~demand =
+  Vec.fits ~demand ~available:(Sim.Cluster.server_available cluster server)
+
+let switch_feasible cluster ~switch (rt : Modes.tg_rt) =
+  match rt.tg.Poly_req.kind with
+  | Poly_req.Server_tg -> false
+  | Poly_req.Network_tg n ->
+      let shape_ok =
+        match n.shape with
+        | Hire.Comp_store.Single_tor ->
+            Fat_tree.kind (Sim.Cluster.topo cluster) switch = Fat_tree.Tor
+        | _ -> true
+      in
+      shape_ok
+      && (not (List.mem switch rt.placed_on))
+      &&
+      let service, per_switch, per_instance = unshared_parts rt.tg in
+      Hire.Sharing.can_place (Sim.Cluster.sharing cluster) ~switch ~service ~per_switch
+        ~per_instance
+
+let job_tors cluster (job : Modes.mjob) =
+  let topo = Sim.Cluster.topo cluster in
+  let machines =
+    List.concat_map
+      (fun (rt : Modes.tg_rt) -> rt.placed_on)
+      (job.common @ job.server_only @ job.inc_only)
+  in
+  machines
+  |> List.filter_map (fun m ->
+         match Fat_tree.kind topo m with
+         | Fat_tree.Server -> Some (Fat_tree.tor_of_server topo m)
+         | Fat_tree.Tor -> Some m
+         | Fat_tree.Agg | Fat_tree.Core -> None)
+  |> List.sort_uniq compare
+
+let machine_pool cluster (rt : Modes.tg_rt) =
+  let topo = Sim.Cluster.topo cluster in
+  if Poly_req.is_network rt.tg then Fat_tree.switches topo else Fat_tree.servers topo

@@ -1,0 +1,26 @@
+(** Shared helpers for the retrofitted baseline policies: feasibility
+    checks through the simulator API "borrowing semantics from HIRE"
+    (§6.1, point 4) — baselines iterate only over machines matching
+    resource constraints, INC compatibility, and multiplexing
+    constraints. *)
+
+module Poly_req = Hire.Poly_req
+
+(** Switch-side (service, per-switch, per-instance) triple of a network
+    group under baseline (unshared) accounting. *)
+val unshared_parts : Poly_req.task_group -> string * Prelude.Vec.t * Prelude.Vec.t
+
+(** [server_fits cluster ~server ~demand]. *)
+val server_fits : Sim.Cluster.t -> server:int -> demand:Prelude.Vec.t -> bool
+
+(** [switch_feasible cluster ~switch rt] — supports the service, fits the
+    unshared demand, respects the overlay shape (ToR-only services), and
+    is not already used by this group (chains need distinct switches). *)
+val switch_feasible : Sim.Cluster.t -> switch:int -> Modes.tg_rt -> bool
+
+(** ToRs of the machines a job has already placed tasks on. *)
+val job_tors : Sim.Cluster.t -> Modes.mjob -> int list
+
+(** All machine ids of the class the group runs on (servers or
+    switches). *)
+val machine_pool : Sim.Cluster.t -> Modes.tg_rt -> int array

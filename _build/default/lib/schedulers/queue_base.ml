@@ -1,0 +1,56 @@
+module Poly_req = Hire.Poly_req
+
+type pick = time:float -> Modes.mjob -> Modes.tg_rt -> int option
+
+let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun x -> x)
+    ~pick cluster modes =
+  let submit ~time poly = Modes.submit modes ~time poly in
+  let charge rt machine =
+    match (rt : Modes.tg_rt).tg.Poly_req.kind with
+    | Poly_req.Server_tg ->
+        Sim.Cluster.place_server_task cluster ~server:machine ~demand:rt.tg.Poly_req.demand;
+        None
+    | Poly_req.Network_tg _ ->
+        Some (Sim.Cluster.place_network_task cluster ~switch:machine ~tg:rt.tg ~shared:false)
+  in
+  let round ~time =
+    let cancelled = ref (Modes.tick modes ~time) in
+    let placements = ref [] in
+    let attempts = ref 0 in
+    let allocs = ref 0 in
+    let jobs = order_jobs (Modes.jobs modes) in
+    List.iter
+      (fun job ->
+        List.iter
+          (fun (rt : Modes.tg_rt) ->
+            let stop = ref false in
+            while (not !stop) && rt.remaining > 0 && !allocs < max_allocs_per_round do
+              incr attempts;
+              match pick ~time job rt with
+              | None -> stop := true
+              | Some machine ->
+                  let charged = charge rt machine in
+                  let dropped = Modes.note_placement modes ~time job rt ~machine in
+                  cancelled := !cancelled @ dropped;
+                  placements :=
+                    { Sim.Scheduler_intf.tg = rt.tg; machine; shared = false; charged }
+                    :: !placements;
+                  incr allocs
+            done)
+          (Modes.active_tgs modes job))
+      jobs;
+    Modes.cleanup modes;
+    {
+      Sim.Scheduler_intf.placements = List.rev !placements;
+      cancelled = !cancelled;
+      think = think_per_alloc *. float_of_int (max 1 !attempts);
+      solver_wall = None;
+    }
+  in
+  {
+    Sim.Scheduler_intf.name;
+    submit;
+    round;
+    pending = (fun () -> Modes.pending modes);
+    on_task_complete = (fun ~time:_ ~tg:_ ~machine:_ -> ());
+  }

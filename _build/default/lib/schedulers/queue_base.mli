@@ -1,0 +1,24 @@
+(** Shared skeleton of the queue-based retrofitted baselines (Yarn++ and
+    K8++): FIFO job iteration with a pluggable machine-picking policy
+    over the {!Modes} alternative handling.
+
+    Per round the skeleton: processes mode timers, walks the queued jobs
+    in policy order, asks the policy for a machine per task, charges the
+    cluster, and accounts think time per allocation attempt (the paper
+    calibrates 0.4–7.2 ms per allocation for queue-based schedulers). *)
+
+type pick = time:float -> Modes.mjob -> Modes.tg_rt -> int option
+
+(** [make ~name ~think_per_alloc ~pick cluster modes] assembles a
+    scheduler.  [pick] must return a machine on which the task fits
+    {e right now} (the skeleton charges it immediately); [None] skips the
+    group for this round.  [order_jobs] defaults to FIFO. *)
+val make :
+  name:string ->
+  think_per_alloc:float ->
+  ?max_allocs_per_round:int ->
+  ?order_jobs:(Modes.mjob list -> Modes.mjob list) ->
+  pick:pick ->
+  Sim.Cluster.t ->
+  Modes.t ->
+  Sim.Scheduler_intf.t

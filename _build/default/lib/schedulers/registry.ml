@@ -1,0 +1,40 @@
+let names =
+  [
+    "hire";
+    "hire-simple";
+    "hire-scaling";
+    "hire-noloc";
+    "hire-noshare";
+    "yarn-concurrent";
+    "yarn-timeout";
+    "k8-concurrent";
+    "k8-timeout";
+    "sparrow-concurrent";
+    "sparrow-timeout";
+    "coco-timeout";
+  ]
+
+let create name ~seed cluster =
+  match name with
+  | "hire" -> Hire_adapter.create cluster
+  | "hire-simple" -> Hire_adapter.create ~simple_flavor:true cluster
+  | "hire-scaling" ->
+      Hire_adapter.create ~solver:Hire.Flow_network.Cost_scaling ~name:"hire-scaling" cluster
+  | "hire-noloc" ->
+      Hire_adapter.create
+        ~params:{ Hire.Cost_model.default_params with locality_aware = false }
+        ~name:"hire-noloc" cluster
+  | "hire-noshare" ->
+      (* Ablation: the scheduler neither plans for nor physically uses
+         switch-resource sharing. *)
+      Hire_adapter.create
+        ~params:{ Hire.Cost_model.default_params with sharing_aware = false }
+        ~shared:false ~name:"hire-noshare" cluster
+  | "yarn-concurrent" -> Yarn_pp.create ~mode:Modes.Concurrent cluster
+  | "yarn-timeout" -> Yarn_pp.create ~mode:Modes.Timeout cluster
+  | "k8-concurrent" -> K8_pp.create ~mode:Modes.Concurrent cluster
+  | "k8-timeout" -> K8_pp.create ~mode:Modes.Timeout cluster
+  | "sparrow-concurrent" -> Sparrow_pp.create ~mode:Modes.Concurrent ~seed cluster
+  | "sparrow-timeout" -> Sparrow_pp.create ~mode:Modes.Timeout ~seed cluster
+  | "coco-timeout" -> Coco_pp.create cluster
+  | other -> invalid_arg (Printf.sprintf "Registry.create: unknown scheduler %S" other)

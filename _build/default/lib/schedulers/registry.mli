@@ -1,0 +1,13 @@
+(** Name-indexed constructors for all schedulers, used by the CLI and the
+    benchmark harness. *)
+
+(** Known scheduler names: hire, hire-simple (the paper's §6.3 flavor
+    ablation), hire-scaling (cost-scaling MCMF solver), hire-noloc /
+    hire-noshare (cost-model ablations), yarn-concurrent, yarn-timeout,
+    k8-concurrent, k8-timeout, sparrow-concurrent, sparrow-timeout,
+    coco-timeout. *)
+val names : string list
+
+(** [create name ~seed cluster] builds the scheduler.
+    @raise Invalid_argument on unknown names. *)
+val create : string -> seed:int -> Sim.Cluster.t -> Sim.Scheduler_intf.t

@@ -1,0 +1,143 @@
+module Poly_req = Hire.Poly_req
+module Rng = Prelude.Rng
+
+let think_per_alloc = 0.0004
+let recheck_interval = 0.2
+let recheck_threshold = 0.5
+
+type stub = { s_job : Modes.mjob; s_rt : Modes.tg_rt }
+
+type sample_state = { mutable outstanding : int; mutable last_sample : float }
+
+let create ~mode ~seed cluster =
+  let modes = Modes.create mode in
+  let rng = Rng.create seed in
+  let queues : (int, stub Queue.t) Hashtbl.t = Hashtbl.create 256 in
+  let samples : (int, sample_state) Hashtbl.t = Hashtbl.create 256 in
+  let queue_of m =
+    match Hashtbl.find_opt queues m with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace queues m q;
+        q
+  in
+  let state_of tg_id =
+    match Hashtbl.find_opt samples tg_id with
+    | Some s -> s
+    | None ->
+        let s = { outstanding = 0; last_sample = neg_infinity } in
+        Hashtbl.replace samples tg_id s;
+        s
+  in
+  let feasible machine (rt : Modes.tg_rt) =
+    if Poly_req.is_network rt.tg then Policy_util.switch_feasible cluster ~switch:machine rt
+    else Policy_util.server_fits cluster ~server:machine ~demand:rt.tg.Poly_req.demand
+  in
+  (* Batch sampling: enqueue reservations for up to [need] tasks on the
+     shortest queues among 2·need sampled feasible machines. *)
+  let sample_for ~time job (rt : Modes.tg_rt) st =
+    let need = rt.remaining - st.outstanding in
+    if need > 0 then begin
+      let pool =
+        Policy_util.machine_pool cluster rt
+        |> Array.to_seq
+        |> Seq.filter (fun m -> feasible m rt)
+        |> Array.of_seq
+      in
+      if Array.length pool > 0 then begin
+        let sampled = Rng.sample_without_replacement rng ~n:(2 * need) pool in
+        let by_queue_len =
+          List.sort
+            (fun a b -> compare (Queue.length (queue_of a)) (Queue.length (queue_of b)))
+            sampled
+        in
+        List.iteri
+          (fun i m ->
+            if i < need then begin
+              Queue.push { s_job = job; s_rt = rt } (queue_of m);
+              st.outstanding <- st.outstanding + 1
+            end)
+          by_queue_len;
+        st.last_sample <- time
+      end
+    end
+  in
+  let submit ~time poly = Modes.submit modes ~time poly in
+  let round ~time =
+    let cancelled = ref (Modes.tick modes ~time) in
+    let attempts = ref 0 in
+    (* Sampling pass: fresh groups, and re-checks for starved groups. *)
+    List.iter
+      (fun job ->
+        List.iter
+          (fun (rt : Modes.tg_rt) ->
+            let st = state_of rt.tg.Poly_req.tg_id in
+            let fresh = st.last_sample = neg_infinity in
+            let starved =
+              time -. st.last_sample >= recheck_interval
+              && float_of_int st.outstanding
+                 < recheck_threshold *. float_of_int rt.remaining
+            in
+            if fresh || starved then sample_for ~time job rt st)
+          (Modes.active_tgs modes job))
+      (Modes.jobs modes);
+    (* Late binding: machines start queued reservations that fit now. *)
+    let placements = ref [] in
+    Hashtbl.iter
+      (fun machine q ->
+        let continue_ = ref true in
+        while !continue_ && not (Queue.is_empty q) do
+          let stub = Queue.peek q in
+          let rt = stub.s_rt in
+          let st = state_of rt.tg.Poly_req.tg_id in
+          if rt.remaining <= 0 then begin
+            ignore (Queue.pop q);
+            st.outstanding <- max 0 (st.outstanding - 1)
+          end
+          else if Poly_req.is_network rt.tg && List.mem machine rt.placed_on then begin
+            (* A chain slot duplicated on this switch: discard the stub. *)
+            ignore (Queue.pop q);
+            st.outstanding <- max 0 (st.outstanding - 1)
+          end
+          else begin
+            incr attempts;
+            if feasible machine rt then begin
+              ignore (Queue.pop q);
+              st.outstanding <- max 0 (st.outstanding - 1);
+              let charged =
+                match rt.tg.Poly_req.kind with
+                | Poly_req.Server_tg ->
+                    Sim.Cluster.place_server_task cluster ~server:machine
+                      ~demand:rt.tg.Poly_req.demand;
+                    None
+                | Poly_req.Network_tg _ ->
+                    Some
+                      (Sim.Cluster.place_network_task cluster ~switch:machine ~tg:rt.tg
+                         ~shared:false)
+              in
+              let dropped = Modes.note_placement modes ~time stub.s_job rt ~machine in
+              cancelled := !cancelled @ dropped;
+              placements :=
+                { Sim.Scheduler_intf.tg = rt.tg; machine; shared = false; charged }
+                :: !placements
+            end
+            else continue_ := false (* head-of-line blocks this machine *)
+          end
+        done)
+      queues;
+    Modes.cleanup modes;
+    {
+      Sim.Scheduler_intf.placements = List.rev !placements;
+      cancelled = !cancelled;
+      think = think_per_alloc *. float_of_int (max 1 !attempts);
+      solver_wall = None;
+    }
+  in
+  {
+    Sim.Scheduler_intf.name = "sparrow-" ^ Modes.mode_to_string mode;
+    submit;
+    round;
+    pending = (fun () -> Modes.pending modes);
+    on_task_complete = (fun ~time:_ ~tg:_ ~machine:_ -> ());
+  }

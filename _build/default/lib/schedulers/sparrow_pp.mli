@@ -1,0 +1,10 @@
+(** Sparrow++ (§6.1): a distributed scheduler using batch sampling with
+    late binding (power of two choices).  For a group with m unscheduled
+    tasks it samples 2·m feasible machines, enqueues task reservations on
+    the m shortest per-machine queues, and machines start reservations as
+    resources free up.  A 200 ms re-check timer adds another sampling
+    round whenever a group's outstanding reservations fall below 50% of
+    its remaining tasks — the paper's mitigation for INC starvation on
+    saturated switches. *)
+
+val create : mode:Modes.mode -> seed:int -> Sim.Cluster.t -> Sim.Scheduler_intf.t

@@ -1,0 +1,8 @@
+(** Yarn++ (§6.1): a queuing-based delay scheduler inspired by the Yarn
+    capacity scheduler.  Two FIFO queues by priority class (service
+    before batch), rack-aware server placement with a 100 ms
+    rack-preference delay, and a 1-minute starvation revert of INC
+    flavor decisions in concurrent mode.  INC tasks take the first
+    feasible switch — locality-unaware, as retrofitted. *)
+
+val create : mode:Modes.mode -> Sim.Cluster.t -> Sim.Scheduler_intf.t

@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Float Hashtbl Hire List Prelude Printf Topology

@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Hire Prelude Topology

@@ -1,0 +1,1 @@
+lib/sim/csv_export.ml: Array Cluster Fun List Metrics Prelude Printf String

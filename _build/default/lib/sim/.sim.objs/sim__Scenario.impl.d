@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array Hire List Prelude Workload

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Cluster Event_queue Float Hashtbl Hire List Metrics Prelude Scheduler_intf

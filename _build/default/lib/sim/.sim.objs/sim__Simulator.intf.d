@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Cluster Hire Metrics Scheduler_intf

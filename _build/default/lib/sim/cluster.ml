@@ -1,0 +1,143 @@
+module Vec = Prelude.Vec
+module Fat_tree = Topology.Fat_tree
+module Sharing = Hire.Sharing
+module Poly_req = Hire.Poly_req
+
+type inc_setup = Homogeneous | Heterogeneous
+
+let inc_setup_to_string = function
+  | Homogeneous -> "homogeneous"
+  | Heterogeneous -> "heterogeneous"
+
+type t = {
+  topo : Fat_tree.t;
+  server_cap : Vec.t;
+  switch_cap : Vec.t;
+  server_avail : (int, Vec.t) Hashtbl.t;
+  sharing : Sharing.t;
+}
+
+let create ?server_capacity ?switch_capacity ?inc_capable_fraction ?topology ~k ~setup ~services rng =
+  let server_cap =
+    match server_capacity with
+    | Some c -> c
+    | None -> Topology.Resource.Server.default_capacity
+  in
+  let switch_cap =
+    match switch_capacity with
+    | Some c -> c
+    | None -> Topology.Resource.Switch.default_capacity
+  in
+  let topo = match topology with Some t -> t | None -> Fat_tree.create ~k in
+  let server_avail = Hashtbl.create 256 in
+  Array.iter (fun s -> Hashtbl.replace server_avail s (Vec.copy server_cap)) (Fat_tree.servers topo);
+  let service_arr = Array.of_list services in
+  (* Keep the paper's servers-per-INC-switch ratio (k = 26 ⇒ 5.2) at any
+     scale: only a k/26 fraction of switches offer INC. *)
+  let fraction =
+    match inc_capable_fraction with
+    | Some f -> Float.max 0.0 (Float.min 1.0 f)
+    | None -> Float.min 1.0 (float_of_int k /. 26.0)
+  in
+  let all_switches = Fat_tree.switches topo in
+  let capable = Hashtbl.create 64 in
+  let n_capable =
+    max 1 (int_of_float (Float.round (fraction *. float_of_int (Array.length all_switches))))
+  in
+  List.iter
+    (fun s -> Hashtbl.replace capable s ())
+    (Prelude.Rng.sample_without_replacement rng ~n:n_capable all_switches);
+  let supported switch =
+    if not (Hashtbl.mem capable switch) then []
+    else begin
+      match setup with
+      | Homogeneous -> services
+      | Heterogeneous ->
+          if Array.length service_arr <= 2 then services
+          else Prelude.Rng.sample_without_replacement rng ~n:2 service_arr
+    end
+  in
+  let sharing = Sharing.create ~topo ~capacity:switch_cap ~supported in
+  { topo; server_cap; switch_cap; server_avail; sharing }
+
+let topo t = t.topo
+let sharing t = t.sharing
+
+let n_inc_capable t =
+  Array.fold_left
+    (fun acc s -> if Sharing.supported_services t.sharing s = [] then acc else acc + 1)
+    0
+    (Fat_tree.switches t.topo)
+let n_servers t = Array.length (Fat_tree.servers t.topo)
+let n_switches t = Array.length (Fat_tree.switches t.topo)
+
+let server_available t s =
+  match Hashtbl.find_opt t.server_avail s with
+  | Some v -> Vec.copy v
+  | None -> invalid_arg (Printf.sprintf "Cluster.server_available: %d is not a server" s)
+
+let server_capacity t = Vec.copy t.server_cap
+
+let view t =
+  {
+    Hire.View.topo = t.topo;
+    server_capacity = t.server_cap;
+    server_available = (fun s -> server_available t s);
+    sharing = t.sharing;
+  }
+
+let place_server_task t ~server ~demand =
+  match Hashtbl.find_opt t.server_avail server with
+  | None -> invalid_arg (Printf.sprintf "Cluster.place_server_task: %d is not a server" server)
+  | Some avail ->
+      if not (Vec.fits ~demand ~available:avail) then
+        invalid_arg
+          (Printf.sprintf "Cluster.place_server_task: demand does not fit on server %d" server);
+      Vec.sub_into avail demand
+
+let release_server_task t ~server ~demand =
+  match Hashtbl.find_opt t.server_avail server with
+  | None -> invalid_arg "Cluster.release_server_task: not a server"
+  | Some avail ->
+      Vec.add_into avail demand;
+      (* Guard against double-release drift. *)
+      Array.iteri (fun i x -> if x > t.server_cap.(i) then avail.(i) <- t.server_cap.(i)) avail
+
+let network_parts tg ~shared =
+  match tg.Poly_req.kind with
+  | Poly_req.Server_tg -> invalid_arg "Cluster: not a network task group"
+  | Poly_req.Network_tg n ->
+      if shared then (n.Poly_req.service, n.Poly_req.per_switch, tg.Poly_req.demand)
+      else
+        (* Baselines cannot track reuse: fold the registration into the
+           per-instance demand so nothing is ever shared. *)
+        ( n.Poly_req.service,
+          Vec.zero (Vec.dim tg.Poly_req.demand),
+          Vec.add n.Poly_req.per_switch tg.Poly_req.demand )
+
+let place_network_task t ~switch ~tg ~shared =
+  let service, per_switch, per_instance = network_parts tg ~shared in
+  let charged =
+    Sharing.effective_demand t.sharing ~switch ~service ~per_switch ~per_instance
+  in
+  Sharing.place t.sharing ~switch ~service ~per_switch ~per_instance;
+  charged
+
+let release_network_task t ~switch ~tg ~shared =
+  let service, _per_switch, per_instance = network_parts tg ~shared in
+  Sharing.release t.sharing ~switch ~service ~per_instance
+
+let server_utilization_avg t =
+  let acc = Vec.zero (Vec.dim t.server_cap) in
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _ avail ->
+      Vec.add_into acc (Topology.Resource.utilization ~capacity:t.server_cap ~available:avail);
+      incr n)
+    t.server_avail;
+  if !n = 0 then acc else Vec.scale (1.0 /. float_of_int !n) acc
+
+let switch_used_total t = Sharing.total_used t.sharing
+
+let switch_capacity_total t =
+  Vec.scale (float_of_int (n_switches t)) t.switch_cap

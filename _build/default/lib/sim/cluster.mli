@@ -1,0 +1,80 @@
+(** Mutable cluster state: the fat-tree topology plus the resource
+    ledgers for servers and (via {!Hire.Sharing}) for INC switches.
+
+    Switch INC capabilities implement the paper's two setups (§6.2):
+    homogeneous — every switch supports every CompStore service — and
+    heterogeneous — two randomly chosen services per switch. *)
+
+module Vec = Prelude.Vec
+
+type inc_setup = Homogeneous | Heterogeneous
+
+val inc_setup_to_string : inc_setup -> string
+
+type t
+
+(** [create ~k ~setup ~services rng] builds a [k]-ary fat-tree cluster
+    with default server/switch capacities.  [services] is the CompStore
+    service-name universe; [rng] drives the heterogeneous capability
+    assignment.
+
+    [inc_capable_fraction] bounds which switches offer INC at all.  The
+    paper's testbed (k = 26) has 5.2 servers per switch; a smaller
+    fat-tree has proportionally more switches per server, which would
+    dilute INC contention.  The default fraction [k/26] keeps the
+    servers-per-INC-switch ratio of the paper at any scale. *)
+val create :
+  ?server_capacity:Vec.t ->
+  ?switch_capacity:Vec.t ->
+  ?inc_capable_fraction:float ->
+  ?topology:Topology.Fat_tree.t ->
+  k:int ->
+  setup:inc_setup ->
+  services:string list ->
+  Prelude.Rng.t ->
+  t
+(** [topology] overrides the default fat-tree (e.g.
+    {!Topology.Fat_tree.create_leaf_spine}); [k] is then ignored. *)
+
+(** Switches offering at least one INC service. *)
+val n_inc_capable : t -> int
+
+val topo : t -> Topology.Fat_tree.t
+val sharing : t -> Hire.Sharing.t
+val n_servers : t -> int
+val n_switches : t -> int
+
+(** The read view handed to schedulers. *)
+val view : t -> Hire.View.t
+
+val server_available : t -> int -> Vec.t
+val server_capacity : t -> Vec.t
+
+(** [place_server_task t ~server ~demand] charges a server.
+    @raise Invalid_argument if the demand does not fit. *)
+val place_server_task : t -> server:int -> demand:Vec.t -> unit
+
+val release_server_task : t -> server:int -> demand:Vec.t -> unit
+
+(** [place_network_task t ~switch ~tg ~shared] charges a switch for one
+    instance of the group's service.  With [shared = false] (retrofitted
+    baselines) the registration part is folded into the per-instance
+    demand, so co-located instances gain nothing ([nol] ignored).
+    Returns the charged demand vector (needed for the release and for
+    load accounting).
+    @raise Invalid_argument if it does not fit or [tg] is not a network
+    group. *)
+val place_network_task :
+  t -> switch:int -> tg:Hire.Poly_req.task_group -> shared:bool -> Vec.t
+
+val release_network_task :
+  t -> switch:int -> tg:Hire.Poly_req.task_group -> shared:bool -> unit
+
+(** Mean per-dimension utilization across servers. *)
+val server_utilization_avg : t -> Vec.t
+
+(** Sum of used switch resources per dimension. *)
+val switch_used_total : t -> Vec.t
+
+(** Total switch capacity per dimension (all switches). *)
+val switch_capacity_total : t -> Vec.t

@@ -1,0 +1,53 @@
+let header =
+  String.concat ","
+    [
+      "scheduler";
+      "mu";
+      "setup";
+      "seed";
+      "jobs";
+      "inc_jobs";
+      "inc_jobs_served";
+      "inc_satisfaction";
+      "inc_tgs";
+      "inc_tgs_unserved";
+      "tgs_total";
+      "tgs_satisfied";
+      "detour_mean";
+      "span_mean";
+      "load_recirc";
+      "load_stages";
+      "load_sram";
+      "latency_p50_s";
+      "latency_p99_s";
+      "solver_p50_ms";
+      "rounds";
+    ]
+
+let percentile_or_zero p xs = if xs = [] then 0.0 else Prelude.Stats.percentile p xs
+
+let row ~scheduler ~mu ~setup ~seed (r : Metrics.report) =
+  Printf.sprintf "%s,%.3f,%s,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%.4f,%.4f,%.5f,%.5f,%.5f,%.4f,%.4f,%.4f,%d"
+    scheduler mu
+    (Cluster.inc_setup_to_string setup)
+    seed r.jobs_total r.inc_jobs_total r.inc_jobs_served
+    (Metrics.inc_satisfaction_ratio r)
+    r.inc_tgs_total r.inc_tgs_unserved r.tgs_total r.tgs_satisfied r.detour_mean r.span_mean
+    r.switch_load.(0) r.switch_load.(1) r.switch_load.(2)
+    (percentile_or_zero 50.0 r.placement_latencies)
+    (percentile_or_zero 99.0 r.placement_latencies)
+    (1000.0 *. percentile_or_zero 50.0 r.solver_samples)
+    r.rounds
+
+let write_file path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc header;
+      output_char oc '\n';
+      List.iter
+        (fun r ->
+          output_string oc r;
+          output_char oc '\n')
+        rows)

@@ -1,0 +1,18 @@
+(** CSV export of metric reports, mirroring the paper artifact's
+    per-simulation stats files: one row per ⟨scheduler, μ, setup, seed⟩
+    cell so the sweep can be re-plotted outside OCaml. *)
+
+val header : string
+
+(** [row ~scheduler ~mu ~setup ~seed report] renders one CSV line
+    (no trailing newline). *)
+val row :
+  scheduler:string ->
+  mu:float ->
+  setup:Cluster.inc_setup ->
+  seed:int ->
+  Metrics.report ->
+  string
+
+(** [write_file path rows] writes header + rows. *)
+val write_file : string -> string list -> unit

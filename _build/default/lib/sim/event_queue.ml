@@ -1,0 +1,27 @@
+module Heap = Prelude.Heap
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { heap : 'a entry Heap.t; mutable next_seq : int }
+
+let cmp a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp; next_seq = 0 }
+
+let push q ~time payload =
+  if not (Float.is_finite time) then invalid_arg "Event_queue.push: non-finite time";
+  Heap.push q.heap { time; seq = q.next_seq; payload };
+  q.next_seq <- q.next_seq + 1
+
+let pop q =
+  if Heap.is_empty q.heap then None
+  else begin
+    let e = Heap.pop q.heap in
+    Some (e.time, e.payload)
+  end
+
+let peek_time q = if Heap.is_empty q.heap then None else Some (Heap.peek q.heap).time
+let is_empty q = Heap.is_empty q.heap
+let size q = Heap.size q.heap

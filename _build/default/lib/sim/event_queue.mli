@@ -1,0 +1,19 @@
+(** Time-ordered event queue for the discrete-event simulator.  Events
+    with equal timestamps are delivered in insertion order (a strict
+    total order keeps simulations deterministic). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push q ~time ev] schedules [ev]; [time] must be finite. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Earliest event with its timestamp, removing it. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Earliest timestamp without removing. *)
+val peek_time : 'a t -> float option
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int

@@ -1,0 +1,248 @@
+module Vec = Prelude.Vec
+module Poly_req = Hire.Poly_req
+module Fat_tree = Topology.Fat_tree
+
+type tg_info = {
+  ti_job : int;
+  ti_comp : string;
+  is_network : bool;
+  expected : int;
+  arrival : float;
+  mutable placed : int;
+  mutable cancelled : bool;
+  mutable satisfied_at : float option;
+}
+
+type job_info = {
+  mutable servers_used : int list;
+  mutable switches_used : int list;
+  has_inc : bool;
+  network_tg_ids : int list;
+}
+
+type t = {
+  topo : Fat_tree.t;
+  tgs : (int, tg_info) Hashtbl.t;
+  jobs : (int, job_info) Hashtbl.t;
+  mutable latencies : float list;
+  mutable solver_samples : float list;
+  mutable sw_used : Vec.t;
+  mutable sw_integral : Vec.t;
+  mutable last_time : float;
+  mutable finalized_at : float option;
+  mutable rounds : int;
+  mutable think_total : float;
+}
+
+let create topo =
+  let dims = Topology.Resource.Switch.count in
+  {
+    topo;
+    tgs = Hashtbl.create 1024;
+    jobs = Hashtbl.create 256;
+    latencies = [];
+    solver_samples = [];
+    sw_used = Vec.zero dims;
+    sw_integral = Vec.zero dims;
+    last_time = 0.0;
+    finalized_at = None;
+    rounds = 0;
+    think_total = 0.0;
+  }
+
+let advance_load t time =
+  let dt = time -. t.last_time in
+  if dt > 0.0 then begin
+    Vec.add_into t.sw_integral (Vec.scale dt t.sw_used);
+    t.last_time <- time
+  end
+
+let on_submit t ~time (poly : Poly_req.t) =
+  advance_load t time;
+  List.iter
+    (fun (tg : Poly_req.task_group) ->
+      Hashtbl.replace t.tgs tg.tg_id
+        {
+          ti_job = poly.job_id;
+          ti_comp = tg.comp_id;
+          is_network = Poly_req.is_network tg;
+          expected = tg.count;
+          arrival = time;
+          placed = 0;
+          cancelled = false;
+          satisfied_at = None;
+        })
+    poly.task_groups;
+  Hashtbl.replace t.jobs poly.job_id
+    {
+      servers_used = [];
+      switches_used = [];
+      has_inc = Poly_req.has_inc poly;
+      network_tg_ids = List.map (fun tg -> tg.Poly_req.tg_id) (Poly_req.network_groups poly);
+    }
+
+let on_place t ~time ~(tg : Poly_req.task_group) ~machine ~charged =
+  advance_load t time;
+  (match charged with Some v -> Vec.add_into t.sw_used v | None -> ());
+  (match Hashtbl.find_opt t.tgs tg.tg_id with
+  | None -> ()
+  | Some ti ->
+      ti.placed <- ti.placed + 1;
+      ti.cancelled <- false;
+      if ti.placed >= ti.expected && ti.satisfied_at = None then begin
+        ti.satisfied_at <- Some time;
+        t.latencies <- (time -. ti.arrival) :: t.latencies
+      end);
+  match Hashtbl.find_opt t.jobs tg.job_id with
+  | None -> ()
+  | Some ji ->
+      if Fat_tree.is_server t.topo machine then ji.servers_used <- machine :: ji.servers_used
+      else ji.switches_used <- machine :: ji.switches_used
+
+let on_task_complete t ~time ~tg:_ ~released =
+  advance_load t time;
+  match released with
+  | Some v ->
+      t.sw_used <- Vec.clamp_nonneg (Vec.sub t.sw_used v)
+  | None -> ()
+
+let on_cancel t ~time ~(tg : Poly_req.task_group) =
+  advance_load t time;
+  match Hashtbl.find_opt t.tgs tg.tg_id with
+  | None -> ()
+  | Some ti -> if ti.satisfied_at = None then ti.cancelled <- true
+
+let on_solver_sample t ~wall_s = t.solver_samples <- wall_s :: t.solver_samples
+
+let on_round t ~think_s =
+  t.rounds <- t.rounds + 1;
+  t.think_total <- t.think_total +. think_s
+
+let finalize t ~time =
+  advance_load t time;
+  t.finalized_at <- Some time
+
+type report = {
+  jobs_total : int;
+  inc_jobs_total : int;
+  inc_jobs_served : int;
+  inc_tgs_total : int;
+  inc_tgs_unserved : int;
+  tgs_total : int;
+  tgs_satisfied : int;
+  detour_mean : float;
+  span_mean : float;  (** topology levels covering servers+switches of a job *)
+  detour_samples : int;
+  switch_load : Vec.t;
+  placement_latencies : float list;
+  solver_samples : float list;
+  rounds : int;
+  think_total : float;
+}
+
+let report t =
+  let jobs_total = Hashtbl.length t.jobs in
+  let inc_jobs_total = ref 0 and inc_jobs_served = ref 0 in
+  let detour_sum = ref 0.0 and detour_n = ref 0 in
+  let span_sum = ref 0.0 in
+  Hashtbl.iter
+    (fun _ ji ->
+      if ji.has_inc then begin
+        incr inc_jobs_total;
+        (* Served with INC iff at least one network group ran fully and
+           no chosen network group is left half-done. *)
+        let satisfied, pending =
+          List.fold_left
+            (fun (sat, pend) tg_id ->
+              match Hashtbl.find_opt t.tgs tg_id with
+              | None -> (sat, pend)
+              | Some ti ->
+                  if ti.satisfied_at <> None then (sat + 1, pend)
+                  else if ti.cancelled then (sat, pend)
+                  else (sat, pend + 1))
+            (0, 0) ji.network_tg_ids
+        in
+        if satisfied > 0 && pending = 0 then incr inc_jobs_served
+      end;
+      (* Detours are defined over jobs whose placement involves switches:
+         extra levels needed to cover servers and switches together. *)
+      if ji.servers_used <> [] && ji.switches_used <> [] then begin
+        let servers = List.sort_uniq compare ji.servers_used in
+        let switches = List.sort_uniq compare ji.switches_used in
+        let d = Fat_tree.detour t.topo ~servers ~switches in
+        detour_sum := !detour_sum +. float_of_int d;
+        (* Fabric span: hierarchy levels needed to cover the whole job,
+           a companion metric — schedulers that scatter servers across
+           the fabric show zero *detour* simply because their jobs
+           already span everything. *)
+        span_sum := !span_sum +. float_of_int (3 - Fat_tree.cover_depth t.topo (servers @ switches));
+        incr detour_n
+      end)
+    t.jobs;
+  let inc_tgs_total = ref 0 and inc_tgs_unserved = ref 0 in
+  let tgs_total = ref 0 and tgs_satisfied = ref 0 in
+  (* Composites with several INC alternatives run exactly one of them: a
+     network group cancelled in favour of a *sibling* INC group is
+     alternative-replaced, not unserved. *)
+  let comp_inc_served = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ ti ->
+      if ti.is_network && ti.satisfied_at <> None then
+        Hashtbl.replace comp_inc_served (ti.ti_job, ti.ti_comp) ())
+    t.tgs;
+  Hashtbl.iter
+    (fun _ ti ->
+      incr tgs_total;
+      if ti.satisfied_at <> None then incr tgs_satisfied;
+      if ti.is_network then begin
+        let sibling_served = Hashtbl.mem comp_inc_served (ti.ti_job, ti.ti_comp) in
+        if ti.satisfied_at <> None then incr inc_tgs_total
+        else if not sibling_served then begin
+          incr inc_tgs_total;
+          incr inc_tgs_unserved
+        end
+      end)
+    t.tgs;
+  let total_time = Float.max 1e-9 t.last_time in
+  let cap =
+    Vec.scale
+      (float_of_int (Array.length (Fat_tree.switches t.topo)))
+      Topology.Resource.Switch.default_capacity
+  in
+  let switch_load =
+    Array.mapi
+      (fun i x -> if cap.(i) <= 0.0 then 0.0 else x /. (cap.(i) *. total_time))
+      t.sw_integral
+  in
+  {
+    jobs_total;
+    inc_jobs_total = !inc_jobs_total;
+    inc_jobs_served = !inc_jobs_served;
+    inc_tgs_total = !inc_tgs_total;
+    inc_tgs_unserved = !inc_tgs_unserved;
+    tgs_total = !tgs_total;
+    tgs_satisfied = !tgs_satisfied;
+    detour_mean = (if !detour_n = 0 then 0.0 else !detour_sum /. float_of_int !detour_n);
+    span_mean = (if !detour_n = 0 then 0.0 else !span_sum /. float_of_int !detour_n);
+    detour_samples = !detour_n;
+    switch_load;
+    placement_latencies = t.latencies;
+    solver_samples = t.solver_samples;
+    rounds = t.rounds;
+    think_total = t.think_total;
+  }
+
+let inc_satisfaction_ratio r =
+  if r.inc_jobs_total = 0 then 1.0
+  else float_of_int r.inc_jobs_served /. float_of_int r.inc_jobs_total
+
+let inc_tg_unserved_ratio r =
+  if r.inc_tgs_total = 0 then 0.0
+  else float_of_int r.inc_tgs_unserved /. float_of_int r.inc_tgs_total
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "jobs=%d inc-jobs=%d/%d (%.1f%%) inc-tgs-unserved=%d/%d detour=%.3f load=%a rounds=%d"
+    r.jobs_total r.inc_jobs_served r.inc_jobs_total
+    (100.0 *. inc_satisfaction_ratio r)
+    r.inc_tgs_unserved r.inc_tgs_total r.detour_mean Vec.pp r.switch_load r.rounds

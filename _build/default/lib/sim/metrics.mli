@@ -1,0 +1,67 @@
+(** Metric collection for the paper's evaluation (§6.2):
+
+    - {b satisfied INC jobs} — fraction of INC-requesting jobs whose
+      network task groups were served with INC (Fig. 8a/8f);
+    - {b unallocated INC task groups} — fraction of requested network
+      groups that never ran with INC (Fig. 8b/8g);
+    - {b switch detours} — extra topology levels needed to cover a job's
+      switches beyond its servers (Fig. 8c/8h);
+    - {b switch load} — time-weighted per-dimension switch utilization
+      (Fig. 8d/8i);
+    - {b placement latency} — submission until all tasks of a task group
+      are running (Fig. 8e/8j);
+    - {b solver wall times} — measured MCMF solve times (Fig. 7). *)
+
+type t
+
+val create : Topology.Fat_tree.t -> t
+
+val on_submit : t -> time:float -> Hire.Poly_req.t -> unit
+
+(** One task of [tg] placed on [machine].  [charged] is the switch-side
+    demand actually charged (network groups only), used for load
+    accounting. *)
+val on_place :
+  t -> time:float -> tg:Hire.Poly_req.task_group -> machine:int -> charged:Prelude.Vec.t option -> unit
+
+(** One task finished; [released] mirrors [charged]. *)
+val on_task_complete :
+  t -> time:float -> tg:Hire.Poly_req.task_group -> released:Prelude.Vec.t option -> unit
+
+(** The group was dropped (flavor decision or fallback). *)
+val on_cancel : t -> time:float -> tg:Hire.Poly_req.task_group -> unit
+
+(** Record a measured MCMF solve (flow-based schedulers only). *)
+val on_solver_sample : t -> wall_s:float -> unit
+
+val on_round : t -> think_s:float -> unit
+
+(** Close the load integrals at simulation end. *)
+val finalize : t -> time:float -> unit
+
+(** Aggregated results. *)
+type report = {
+  jobs_total : int;
+  inc_jobs_total : int;  (** jobs that requested INC *)
+  inc_jobs_served : int;  (** ... whose chosen INC groups all ran with INC *)
+  inc_tgs_total : int;
+  inc_tgs_unserved : int;
+  tgs_total : int;
+  tgs_satisfied : int;
+  detour_mean : float;
+  span_mean : float;
+      (** mean topology levels needed to cover a job's servers and
+          switches together (fabric footprint; companion to detours) *)
+  detour_samples : int;
+  switch_load : Prelude.Vec.t;  (** time-weighted used fraction per dimension *)
+  placement_latencies : float list;  (** seconds, satisfied groups only *)
+  solver_samples : float list;  (** seconds *)
+  rounds : int;
+  think_total : float;
+}
+
+val report : t -> report
+
+val inc_satisfaction_ratio : report -> float
+val inc_tg_unserved_ratio : report -> float
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,55 @@
+module Rng = Prelude.Rng
+module Comp_req = Hire.Comp_req
+module Comp_store = Hire.Comp_store
+module Transformer = Hire.Transformer
+
+type t = { arrivals : (float * Hire.Poly_req.t) list; store : Comp_store.t }
+
+(* Attach a random INC alternative to up to a third of a job's composites
+   (at least one), rewriting the composite onto the template that lists
+   the chosen service. *)
+let augment store rng (req : Comp_req.t) =
+  let services = Comp_store.service_names store in
+  if Array.length services = 0 then req
+  else begin
+    let comps = Array.of_list req.composites in
+    let n = Array.length comps in
+    (* "Up to a third" of the job's task groups get an INC alternative,
+       at least one (§6.2). *)
+    let n_inc = Rng.int_in rng 1 (max 1 ((n + 2) / 3)) in
+    let idxs = Rng.sample_without_replacement rng ~n:n_inc (Array.init n (fun i -> i)) in
+    List.iter
+      (fun i ->
+        let service = Rng.choose rng services in
+        match Comp_store.template_of_service store service with
+        | None -> ()
+        | Some template ->
+            let c = comps.(i) in
+            comps.(i) <-
+              { c with Comp_req.template; inc_alternatives = [ service ] })
+      idxs;
+    { req with composites = Array.to_list comps }
+  end
+
+let build store rng ~mu jobs =
+  if mu < 0.0 || mu > 1.0 then invalid_arg "Scenario.build: mu must be in [0,1]";
+  let ids = Transformer.Id_gen.create () in
+  let arrivals =
+    List.map
+      (fun (job : Workload.Job.t) ->
+        let req = Comp_req.of_job job in
+        let req = if Rng.bernoulli rng mu then augment store rng req else req in
+        let poly =
+          Transformer.transform store ids rng ~job_id:job.id ~arrival:job.arrival req
+        in
+        (job.arrival, poly))
+      jobs
+  in
+  { arrivals; store }
+
+let inc_fraction t =
+  match t.arrivals with
+  | [] -> 0.0
+  | l ->
+      let inc = List.length (List.filter (fun (_, p) -> Hire.Poly_req.has_inc p) l) in
+      float_of_int inc /. float_of_int (List.length l)

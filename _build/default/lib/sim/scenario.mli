@@ -1,0 +1,21 @@
+(** Experiment scenario assembly: turn a raw workload trace into the
+    PolyReq stream of the paper's methodology (§6.2).
+
+    To reach a target INC ratio μ, jobs are selected randomly; for up to
+    a third of a selected job's task groups (at least one) a random
+    CompStore INC composite is attached as a runtime alternative.  The
+    resulting CompReqs are transformed into PolyReqs with a shared
+    task-group id generator. *)
+
+type t = {
+  arrivals : (float * Hire.Poly_req.t) list;  (** sorted by time *)
+  store : Hire.Comp_store.t;
+}
+
+(** [build store rng ~mu jobs] augments and transforms a trace.
+    Requires [0 <= mu <= 1]. *)
+val build :
+  Hire.Comp_store.t -> Prelude.Rng.t -> mu:float -> Workload.Job.t list -> t
+
+(** Fraction of PolyReqs that request INC (sanity check against μ). *)
+val inc_fraction : t -> float

@@ -1,0 +1,31 @@
+(** The scheduler interface the simulator drives.
+
+    Schedulers are first-class records so the simulation engine does not
+    depend on any concrete policy.  A scheduler {e charges the cluster
+    ledgers itself} while deciding (so intra-round feasibility is exact)
+    and reports the placements; the simulator schedules the matching
+    completions, releases resources when tasks finish, and feeds the
+    metrics. *)
+
+type placement = {
+  tg : Hire.Poly_req.task_group;
+  machine : int;  (** server id for server groups, switch id for network groups *)
+  shared : bool;  (** whether switch placement may exploit INC sharing *)
+  charged : Prelude.Vec.t option;
+      (** switch-side demand charged (network groups only) *)
+}
+
+type round_result = {
+  placements : placement list;
+  cancelled : Hire.Poly_req.task_group list;
+  think : float;  (** simulated decision time of this round, seconds *)
+  solver_wall : float option;  (** measured MCMF wall time (flow-based only) *)
+}
+
+type t = {
+  name : string;
+  submit : time:float -> Hire.Poly_req.t -> unit;
+  round : time:float -> round_result;
+  pending : unit -> bool;  (** unfinished placement work remains *)
+  on_task_complete : time:float -> tg:Hire.Poly_req.task_group -> machine:int -> unit;
+}

@@ -1,0 +1,108 @@
+module Poly_req = Hire.Poly_req
+
+type config = {
+  drain : float;
+  min_round_interval : float;
+  no_progress_backoff : float;
+  gang : bool;
+}
+
+let default_config =
+  { drain = 300.0; min_round_interval = 0.001; no_progress_backoff = 0.25; gang = false }
+
+type event =
+  | Arrival of Poly_req.t
+  | Round
+  | Complete of {
+      tg : Poly_req.task_group;
+      machine : int;
+      shared : bool;
+      released : Prelude.Vec.t option;
+    }
+
+type result = { report : Metrics.report; end_time : float; events_processed : int }
+
+let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
+  let queue = Event_queue.create () in
+  let metrics = Metrics.create (Cluster.topo cluster) in
+  let last_arrival =
+    List.fold_left (fun acc (t, _) -> Float.max acc t) 0.0 arrivals
+  in
+  let hard_end = last_arrival +. config.drain in
+  List.iter (fun (t, poly) -> Event_queue.push queue ~time:t (Arrival poly)) arrivals;
+  let round_armed = ref false in
+  let arm_round ~time delay =
+    if not !round_armed && time +. delay <= hard_end then begin
+      round_armed := true;
+      Event_queue.push queue ~time:(time +. Float.max delay config.min_round_interval) Round
+    end
+  in
+  let events = ref 0 in
+  let now = ref 0.0 in
+  (* Gang semantics (§5.1: no partial scheduling): tasks of a group hold
+     their resources from placement, but only start running — and hence
+     schedule completions — once the whole group is placed. *)
+  let gang_state : (int, int * Scheduler_intf.placement list) Hashtbl.t = Hashtbl.create 64 in
+  let schedule_completion ~time (p : Scheduler_intf.placement) =
+    Event_queue.push queue
+      ~time:(time +. p.tg.Poly_req.duration)
+      (Complete { tg = p.tg; machine = p.machine; shared = p.shared; released = p.charged })
+  in
+  let apply_placement ~time (p : Scheduler_intf.placement) =
+    (* The scheduler has already charged the ledgers. *)
+    Metrics.on_place metrics ~time ~tg:p.tg ~machine:p.machine ~charged:p.charged;
+    if not config.gang then schedule_completion ~time p
+    else begin
+      let tg_id = p.tg.Poly_req.tg_id in
+      let placed, held =
+        match Hashtbl.find_opt gang_state tg_id with Some x -> x | None -> (0, [])
+      in
+      let placed = placed + 1 and held = p :: held in
+      if placed >= p.tg.Poly_req.count then begin
+        Hashtbl.remove gang_state tg_id;
+        List.iter (schedule_completion ~time) held
+      end
+      else Hashtbl.replace gang_state tg_id (placed, held)
+    end
+  in
+  let rec loop () =
+    match Event_queue.pop queue with
+    | None -> ()
+    | Some (time, ev) ->
+        now := Float.max !now time;
+        incr events;
+        (match ev with
+        | Arrival poly ->
+            Metrics.on_submit metrics ~time poly;
+            sched.submit ~time poly;
+            arm_round ~time 0.0
+        | Round ->
+            round_armed := false;
+            let res = sched.round ~time in
+            Metrics.on_round metrics ~think_s:res.think;
+            (match res.solver_wall with
+            | Some w -> Metrics.on_solver_sample metrics ~wall_s:w
+            | None -> ());
+            List.iter (apply_placement ~time) res.placements;
+            List.iter (fun tg -> Metrics.on_cancel metrics ~time ~tg) res.cancelled;
+            if sched.pending () then begin
+              let delay =
+                if res.placements <> [] || res.cancelled <> [] then res.think
+                else Float.max res.think config.no_progress_backoff
+              in
+              arm_round ~time delay
+            end
+        | Complete { tg; machine; shared; released } ->
+            (match tg.Poly_req.kind with
+            | Poly_req.Server_tg ->
+                Cluster.release_server_task cluster ~server:machine ~demand:tg.Poly_req.demand
+            | Poly_req.Network_tg _ ->
+                Cluster.release_network_task cluster ~switch:machine ~tg ~shared);
+            Metrics.on_task_complete metrics ~time ~tg ~released;
+            sched.on_task_complete ~time ~tg ~machine;
+            if sched.pending () then arm_round ~time config.min_round_interval);
+        loop ()
+  in
+  loop ();
+  Metrics.finalize metrics ~time:(Float.max !now hard_end);
+  { report = Metrics.report metrics; end_time = !now; events_processed = !events }

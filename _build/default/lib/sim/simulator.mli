@@ -1,0 +1,40 @@
+(** Discrete-event cluster-scheduling simulator (in the spirit of the
+    paper's Omega-style simulator, §6.2).
+
+    Events: job arrivals, scheduling rounds, task completions.  Rounds
+    are triggered by state changes (arrivals, completions) and re-armed
+    after the scheduler's simulated think time while it keeps making
+    progress; an idle scheduler with unplaceable work backs off instead
+    of busy-looping.  Schedulers charge the cluster ledgers while
+    deciding; the simulator schedules the matching task completions,
+    releases resources when tasks finish, and feeds the metrics. *)
+
+type config = {
+  drain : float;
+      (** seconds past the last arrival during which scheduling continues *)
+  min_round_interval : float;  (** lower bound between rounds, seconds *)
+  no_progress_backoff : float;  (** retry delay when a round placed nothing *)
+  gang : bool;
+      (** gang semantics (§5.1, no partial scheduling): tasks of a group
+          hold resources from placement but start running — and complete —
+          only once the whole group is placed (default false: tasks start
+          as placed, the paper simulator's behaviour for latency
+          accounting) *)
+}
+
+val default_config : config
+
+type result = {
+  report : Metrics.report;
+  end_time : float;  (** simulated seconds at finalization *)
+  events_processed : int;
+}
+
+(** [run ~config cluster scheduler arrivals] replays the arrival stream
+    to completion and returns the metric report. *)
+val run :
+  ?config:config ->
+  Cluster.t ->
+  Scheduler_intf.t ->
+  (float * Hire.Poly_req.t) list ->
+  result

@@ -1,0 +1,1 @@
+lib/topology/resource.mli: Prelude

@@ -1,0 +1,93 @@
+(** K-ary fat-tree data-center topology.
+
+    For even [k], the tree has [k] pods, each with [k/2] top-of-rack (ToR)
+    switches and [k/2] aggregation switches; [(k/2)²] core switches; and
+    [k/2] servers per ToR, i.e. [k³/4] servers in total.  The paper's
+    evaluation uses [k = 26] (4394 servers, 845 switches); the default
+    experiments in this repository use smaller [k] for runtime.
+
+    Depth convention follows Fig. 6 of the paper: core switches are at
+    depth 0, aggregation at 1, ToR at 2, servers at 3. *)
+
+type kind = Core | Agg | Tor | Server
+
+type node = {
+  id : int;
+  kind : kind;
+  depth : int;  (** 0 core, 1 agg, 2 tor, 3 server *)
+  pod : int;  (** -1 for core switches *)
+  index : int;  (** index within its group *)
+}
+
+type t
+
+(** [create ~k] builds a fat-tree; [k] must be even and >= 2. *)
+val create : k:int -> t
+
+(** [create_leaf_spine ~spines ~leafs ~servers_per_leaf] builds a
+    two-tier leaf–spine fabric: every leaf connects to every spine, and
+    [servers_per_leaf] servers hang off each leaf.  Spines take the
+    [Core] role (depth 0) and leafs the [Tor] role (depth 2, each leaf
+    being its own pod), so all subtree/LCA/detour queries — and therefore
+    the whole scheduling stack — work unchanged on this multi-path
+    topology (§6.2 mentions multi-path support). *)
+val create_leaf_spine : spines:int -> leafs:int -> servers_per_leaf:int -> t
+
+val k : t -> int
+val node_count : t -> int
+val node : t -> int -> node
+val kind : t -> int -> kind
+val depth : t -> int -> int
+val is_server : t -> int -> bool
+val is_switch : t -> int -> bool
+
+(** All server node ids, in id order. *)
+val servers : t -> int array
+
+(** All switch node ids (core ++ agg ++ tor), in id order. *)
+val switches : t -> int array
+
+val core_switches : t -> int array
+val agg_switches : t -> int array
+val tor_switches : t -> int array
+
+(** The ToR switch a server is cabled to. *)
+val tor_of_server : t -> int -> int
+
+(** Physical neighbours (both directions): servers↔ToR, ToR↔aggs of the
+    pod, aggs↔their cores. *)
+val neighbors : t -> int -> int list
+
+(** Upstream neighbours only (towards the core). *)
+val parents : t -> int -> int list
+
+(** Downstream neighbours only (towards the servers). *)
+val children : t -> int -> int list
+
+(** Servers reachable strictly downward from a node ([node] itself if a
+    server).  Cached after first computation. *)
+val servers_under : t -> int -> int array
+
+(** Switches reachable downward from a switch, including itself. *)
+val switches_under : t -> int -> int array
+
+(** [lca_depth t a b] is the depth of the shallowest subtree containing
+    both nodes: 2 for same ToR, 1 for same pod, 0 otherwise; for equal
+    nodes it is the node's own depth. *)
+val lca_depth : t -> int -> int -> int
+
+(** [cover_depth t nodes] is the depth of the shallowest subtree covering
+    all given nodes (the minimum pairwise [lca_depth]); the depth of the
+    node itself for a singleton.  Raises [Invalid_argument] on []. *)
+val cover_depth : t -> int list -> int
+
+(** Switch-detour metric of the paper (§6.2): number of additional levels
+    of switch hierarchy needed to cover servers *and* switches of a job,
+    beyond the levels needed to cover the servers alone.  Zero when
+    [switches] is empty. *)
+val detour : t -> servers:int list -> switches:int list -> int
+
+(** Hop distance in the canonical hierarchy (up to the LCA and down). *)
+val hop_distance : t -> int -> int -> int
+
+val pp : Format.formatter -> t -> unit

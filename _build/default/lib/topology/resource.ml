@@ -1,0 +1,25 @@
+module Vec = Prelude.Vec
+
+module Server = struct
+  let cpu = 0
+  let mem = 1
+  let count = 2
+  let names = [| "cpu"; "mem" |]
+  let default_capacity = Vec.of_list [ 96.0; 100.0 ]
+end
+
+module Switch = struct
+  let recirc = 0
+  let stages = 1
+  let sram = 2
+  let count = 3
+  let names = [| "recirc"; "stages"; "sram" |]
+  let default_capacity = Vec.of_list [ 100.0; 48.0; 22.0 ]
+end
+
+let utilization ~capacity ~available =
+  Array.mapi
+    (fun i cap ->
+      if cap <= 0.0 then 0.0
+      else Float.max 0.0 (Float.min 1.0 ((cap -. available.(i)) /. cap)))
+    capacity

@@ -1,0 +1,39 @@
+(** Resource dimensions of the two machine classes.
+
+    Following the paper (§4, §6.2) we model servers with two dimensions —
+    CPU and memory — and INC switches with three: reserved recirculation
+    capacity, RMT stages, and SRAM.  The dimension count is configurable
+    in HIRE generally; these are the concrete dimensions used by the
+    paper's evaluation and by this reproduction. *)
+
+module Server : sig
+  val cpu : int  (** index of the CPU dimension *)
+
+  val mem : int  (** index of the memory dimension *)
+
+  val count : int
+  val names : string array
+
+  (** Default server capacity: 96 CPU cores, 100 normalized memory units
+      (the Alibaba 2018 trace normalizes memory to \[0,100\]). *)
+  val default_capacity : Prelude.Vec.t
+end
+
+module Switch : sig
+  val recirc : int  (** reserved recirculation capacity, percent *)
+
+  val stages : int  (** RMT pipeline stages *)
+
+  val sram : int  (** on-chip SRAM, MB *)
+
+  val count : int
+  val names : string array
+
+  (** Default switch capacity from §6.2: 100% recirculation budget,
+      48 stages, 22 MB SRAM. *)
+  val default_capacity : Prelude.Vec.t
+end
+
+(** [utilization ~capacity ~available] is the per-dimension used fraction
+    in [\[0,1\]] (0 where capacity is 0). *)
+val utilization : capacity:Prelude.Vec.t -> available:Prelude.Vec.t -> Prelude.Vec.t

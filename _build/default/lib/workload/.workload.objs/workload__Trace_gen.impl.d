@@ -1,0 +1,1 @@
+lib/workload/trace_gen.ml: Float Job List Prelude

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Buffer Fun Hashtbl Job List Printf Result String

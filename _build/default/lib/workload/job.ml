@@ -1,0 +1,26 @@
+type priority = Batch | Service
+
+let pp_priority fmt = function
+  | Batch -> Format.pp_print_string fmt "batch"
+  | Service -> Format.pp_print_string fmt "service"
+
+let priority_to_string p = Format.asprintf "%a" pp_priority p
+
+type task_group = {
+  tg_index : int;
+  count : int;
+  cpu : float;
+  mem : float;
+  duration : float;
+}
+
+type t = { id : int; arrival : float; priority : priority; groups : task_group list }
+
+let total_tasks t = List.fold_left (fun acc g -> acc + g.count) 0 t.groups
+
+let cpu_seconds t =
+  List.fold_left (fun acc g -> acc +. (float_of_int g.count *. g.cpu *. g.duration)) 0.0 t.groups
+
+let pp fmt t =
+  Format.fprintf fmt "job %d @%.1fs %a: %d groups, %d tasks" t.id t.arrival pp_priority
+    t.priority (List.length t.groups) (total_tasks t)

@@ -1,0 +1,36 @@
+(** Server-side job descriptions produced by the trace generator.
+
+    A job arrives at a point in time, carries a priority class (the
+    Alibaba 2018 trace distinguishes two), and consists of one or more
+    task groups: bundles of identical tasks with a common resource demand
+    and duration.  INC alternatives are *not* part of the raw workload —
+    the experiment harness augments a target fraction μ of jobs with INC
+    composites, mirroring the paper's methodology (§6.2). *)
+
+type priority = Batch | Service
+
+val pp_priority : Format.formatter -> priority -> unit
+val priority_to_string : priority -> string
+
+type task_group = {
+  tg_index : int;  (** position of the group within its job *)
+  count : int;  (** number of identical tasks; >= 1 *)
+  cpu : float;  (** CPU cores per task *)
+  mem : float;  (** normalized memory units per task *)
+  duration : float;  (** task runtime in seconds once started *)
+}
+
+type t = {
+  id : int;
+  arrival : float;  (** submission time, seconds from simulation start *)
+  priority : priority;
+  groups : task_group list;
+}
+
+val total_tasks : t -> int
+
+(** Aggregate CPU·seconds of the job (work volume), used for load
+    accounting in tests and the generator's self-calibration. *)
+val cpu_seconds : t -> float
+
+val pp : Format.formatter -> t -> unit

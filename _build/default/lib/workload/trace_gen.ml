@@ -1,0 +1,114 @@
+module Rng = Prelude.Rng
+
+type config = {
+  arrival_rate : float;
+  diurnal_amplitude : float;
+  diurnal_period : float;
+  batch_fraction : float;
+  batch_task_count_mu : float;
+  batch_task_count_sigma : float;
+  service_task_count_mu : float;
+  service_task_count_sigma : float;
+  batch_duration_mu : float;
+  batch_duration_sigma : float;
+  service_duration_mu : float;
+  service_duration_sigma : float;
+  max_tasks_per_group : int;
+  max_groups_per_job : int;
+}
+
+let default =
+  {
+    arrival_rate = 0.5;
+    diurnal_amplitude = 0.25;
+    diurnal_period = 86_400.0;
+    batch_fraction = 0.85;
+    (* Batch: median e^2.8 ≈ 16 tasks/group, long tail (Alibaba batch
+       jobs typically have tens to hundreds of instances). *)
+    batch_task_count_mu = 2.8;
+    batch_task_count_sigma = 1.1;
+    (* Service: median e^1.6 ≈ 5 tasks/group, lighter tail. *)
+    service_task_count_mu = 1.6;
+    service_task_count_sigma = 0.8;
+    (* Batch durations: median e^4.5 ≈ 90 s. *)
+    batch_duration_mu = 4.5;
+    batch_duration_sigma = 1.0;
+    (* Service durations: median e^7 ≈ 1100 s. *)
+    service_duration_mu = 7.0;
+    service_duration_sigma = 0.7;
+    max_tasks_per_group = 120;
+    max_groups_per_job = 5;
+  }
+
+(* Container shapes loosely matching public Alibaba statistics: most
+   requests are small; memory correlates with CPU. *)
+let container_shapes = [ (0.45, 1.0); (0.30, 2.0); (0.15, 4.0); (0.07, 8.0); (0.03, 16.0) ]
+
+let draw_task_group config rng priority tg_index =
+  let mu, sigma, dmu, dsigma =
+    match priority with
+    | Job.Batch ->
+        ( config.batch_task_count_mu,
+          config.batch_task_count_sigma,
+          config.batch_duration_mu,
+          config.batch_duration_sigma )
+    | Job.Service ->
+        ( config.service_task_count_mu,
+          config.service_task_count_sigma,
+          config.service_duration_mu,
+          config.service_duration_sigma )
+  in
+  let count =
+    let raw = int_of_float (Float.round (Rng.log_normal rng ~mu ~sigma)) in
+    max 1 (min config.max_tasks_per_group raw)
+  in
+  let cpu = Rng.weighted_choice rng container_shapes in
+  let mem = cpu *. Rng.float_in rng 1.0 2.5 in
+  let duration = Float.max 1.0 (Rng.log_normal rng ~mu:dmu ~sigma:dsigma) in
+  { Job.tg_index; count; cpu; mem; duration }
+
+let draw_job config rng ~id ~arrival =
+  let priority = if Rng.bernoulli rng config.batch_fraction then Job.Batch else Job.Service in
+  let n_groups = Rng.int_in rng 1 config.max_groups_per_job in
+  let groups = List.init n_groups (fun i -> draw_task_group config rng priority i) in
+  { Job.id; arrival; priority; groups }
+
+let generate config rng ~horizon =
+  if config.arrival_rate <= 0.0 then invalid_arg "Trace_gen.generate: rate must be positive";
+  let rate_max = config.arrival_rate *. (1.0 +. config.diurnal_amplitude) in
+  let rate_at t =
+    config.arrival_rate
+    *. (1.0
+       +. (config.diurnal_amplitude *. sin (2.0 *. Float.pi *. t /. config.diurnal_period)))
+  in
+  (* Thinning (Lewis–Shedler) for the nonhomogeneous Poisson process. *)
+  let rec arrivals t acc =
+    let t = t +. Rng.exponential rng ~mean:(1.0 /. rate_max) in
+    if t >= horizon then List.rev acc
+    else if Rng.bernoulli rng (rate_at t /. rate_max) then arrivals t (t :: acc)
+    else arrivals t acc
+  in
+  let times = arrivals 0.0 [] in
+  List.mapi (fun id arrival -> draw_job config rng ~id ~arrival) times
+
+let mean_job_cpu_seconds config =
+  (* Empirical estimate from a fixed probe stream; deterministic. *)
+  let rng = Rng.create 0x5eed in
+  let n = 2000 in
+  let acc = ref 0.0 in
+  for id = 0 to n - 1 do
+    acc := !acc +. Job.cpu_seconds (draw_job config rng ~id ~arrival:0.0)
+  done;
+  !acc /. float_of_int n
+
+(* The workload library must not depend on the topology library just for
+   one constant; keep the default server CPU capacity local. *)
+let server_cpu_capacity = 96.0
+
+let scaled_rate ~n_servers ~target_utilization config =
+  if n_servers <= 0 then invalid_arg "Trace_gen.scaled_rate: n_servers must be positive";
+  if target_utilization <= 0.0 then
+    invalid_arg "Trace_gen.scaled_rate: target_utilization must be positive";
+  let cluster_cpu = float_of_int n_servers *. server_cpu_capacity in
+  let rate = target_utilization *. cluster_cpu /. mean_job_cpu_seconds config in
+  { config with arrival_rate = rate }

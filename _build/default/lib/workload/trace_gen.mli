@@ -1,0 +1,44 @@
+(** Synthetic workload generator standing in for the Alibaba 2018 cluster
+    trace used by the paper.
+
+    The paper replays 36 hours of a 4000-machine production trace with
+    two priority classes.  That trace (1.5 GB) is not available here, so
+    we generate a statistically similar stream (see DESIGN.md §2):
+
+    - Poisson arrivals whose rate follows a mild diurnal modulation;
+    - ~85% batch jobs (many short tasks, heavy-tailed counts and
+      durations, log-normal), ~15% service jobs (fewer, longer tasks);
+    - per-task demands drawn from a small set of container shapes,
+      memory loosely correlated with CPU;
+    - 1–5 task groups per job.
+
+    The generator is deterministic given the [Prelude.Rng.t]. *)
+
+type config = {
+  arrival_rate : float;  (** mean job arrivals per second *)
+  diurnal_amplitude : float;  (** 0 = flat; 0.3 = ±30% rate swing *)
+  diurnal_period : float;  (** seconds per modulation cycle *)
+  batch_fraction : float;
+  batch_task_count_mu : float;  (** log-normal parameters of tasks/group *)
+  batch_task_count_sigma : float;
+  service_task_count_mu : float;
+  service_task_count_sigma : float;
+  batch_duration_mu : float;  (** log-normal parameters of seconds *)
+  batch_duration_sigma : float;
+  service_duration_mu : float;
+  service_duration_sigma : float;
+  max_tasks_per_group : int;
+  max_groups_per_job : int;
+}
+
+val default : config
+
+(** [scaled_rate ~n_servers ~target_utilization config] returns [config]
+    with the arrival rate set so the generated stream's expected
+    CPU·seconds demand equals [target_utilization] of the cluster's CPU
+    capacity (assuming default server capacity). *)
+val scaled_rate : n_servers:int -> target_utilization:float -> config -> config
+
+(** [generate config rng ~horizon] produces the jobs arriving in
+    [\[0, horizon)] seconds, sorted by arrival time, ids dense from 0. *)
+val generate : config -> Prelude.Rng.t -> horizon:float -> Job.t list

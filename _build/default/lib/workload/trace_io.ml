@@ -1,0 +1,115 @@
+let csv_header = "job_id,arrival_s,priority,tg_index,count,cpu,mem,duration_s"
+
+let to_csv jobs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (j : Job.t) ->
+      List.iter
+        (fun (g : Job.task_group) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%.6f,%s,%d,%d,%.6f,%.6f,%.6f\n" j.id j.arrival
+               (Job.priority_to_string j.priority)
+               g.tg_index g.count g.cpu g.mem g.duration))
+        j.groups)
+    jobs;
+  Buffer.contents buf
+
+let ( let* ) r f = Result.bind r f
+
+let parse_priority = function
+  | "batch" -> Ok Job.Batch
+  | "service" -> Ok Job.Service
+  | other -> Error (Printf.sprintf "unknown priority %S" other)
+
+let parse_row line_no line =
+  let fields = String.split_on_char ',' (String.trim line) in
+  match fields with
+  | [ job_id; arrival; priority; tg_index; count; cpu; mem; duration ] -> (
+      let int name s =
+        match int_of_string_opt (String.trim s) with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "line %d: bad %s %S" line_no name s)
+      in
+      let float name s =
+        match float_of_string_opt (String.trim s) with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "line %d: bad %s %S" line_no name s)
+      in
+      let* job_id = int "job_id" job_id in
+      let* arrival = float "arrival_s" arrival in
+      let* priority = parse_priority (String.trim priority) in
+      let* tg_index = int "tg_index" tg_index in
+      let* count = int "count" count in
+      let* cpu = float "cpu" cpu in
+      let* mem = float "mem" mem in
+      let* duration = float "duration_s" duration in
+      if arrival < 0.0 || count <= 0 || cpu <= 0.0 || mem <= 0.0 || duration <= 0.0 then
+        Error (Printf.sprintf "line %d: non-positive quantity" line_no)
+      else Ok (job_id, arrival, priority, { Job.tg_index; count; cpu; mem; duration }))
+  | _ -> Error (Printf.sprintf "line %d: expected 8 fields, got %d" line_no (List.length fields))
+
+let of_csv contents =
+  let lines =
+    String.split_on_char '\n' contents
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty trace"
+  | (_, header) :: rows ->
+      if String.trim header <> csv_header then
+        Error (Printf.sprintf "bad header: expected %S" csv_header)
+      else begin
+        let* parsed =
+          List.fold_left
+            (fun acc (line_no, line) ->
+              let* acc = acc in
+              let* row = parse_row line_no line in
+              Ok (row :: acc))
+            (Ok []) rows
+        in
+        let parsed = List.rev parsed in
+        (* Group consecutive rows by job id, checking consistency. *)
+        let jobs_tbl = Hashtbl.create 64 in
+        let order = ref [] in
+        let* () =
+          List.fold_left
+            (fun acc (job_id, arrival, priority, group) ->
+              let* () = acc in
+              match Hashtbl.find_opt jobs_tbl job_id with
+              | None ->
+                  Hashtbl.replace jobs_tbl job_id (arrival, priority, [ group ]);
+                  order := job_id :: !order;
+                  Ok ()
+              | Some (a, p, groups) ->
+                  if a <> arrival then
+                    Error (Printf.sprintf "job %d: inconsistent arrival times" job_id)
+                  else if p <> priority then
+                    Error (Printf.sprintf "job %d: inconsistent priorities" job_id)
+                  else begin
+                    Hashtbl.replace jobs_tbl job_id (a, p, group :: groups);
+                    Ok ()
+                  end)
+            (Ok ()) parsed
+        in
+        let jobs =
+          List.rev !order
+          |> List.map (fun id ->
+                 let arrival, priority, groups = Hashtbl.find jobs_tbl id in
+                 { Job.id; arrival; priority; groups = List.rev groups })
+          |> List.sort (fun (a : Job.t) b -> compare (a.arrival, a.id) (b.arrival, b.id))
+        in
+        Ok jobs
+      end
+
+let write_file path jobs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv jobs))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_csv (really_input_string ic (in_channel_length ic)))

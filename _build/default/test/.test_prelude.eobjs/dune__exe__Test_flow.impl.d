@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Flow List Prelude QCheck QCheck_alcotest

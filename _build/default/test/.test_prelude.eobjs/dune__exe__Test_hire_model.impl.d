@@ -1,0 +1,1 @@
+test/test_hire_model.ml: Alcotest Array Builder Float Gen Hire List Option Prelude Printf QCheck QCheck_alcotest Result Topology Workload

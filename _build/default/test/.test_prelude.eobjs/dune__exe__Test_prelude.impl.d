@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Gen Heap List Prelude QCheck QCheck_alcotest Rng Stats Vec

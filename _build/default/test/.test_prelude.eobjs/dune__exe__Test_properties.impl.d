@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Flow Hashtbl Hire List Option Prelude Printf QCheck QCheck_alcotest Schedulers Sim Topology Workload

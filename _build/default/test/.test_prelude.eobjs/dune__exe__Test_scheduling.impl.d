@@ -1,0 +1,1 @@
+test/test_scheduling.ml: Alcotest Array Filename Float Flow Fun Harness Hire List Option Prelude Printf Schedulers Sim String Sys Topology Workload

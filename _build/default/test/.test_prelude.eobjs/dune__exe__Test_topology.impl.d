@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Gen Hire List Prelude Printf QCheck QCheck_alcotest Schedulers Sim Topology Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Filename Fun List Prelude Printf Result Sys Workload

@@ -1,0 +1,481 @@
+(* Tests for the MCMF substrate: graph bookkeeping, known solver
+   instances, verifier behaviour, flow decomposition, and randomized
+   properties cross-checked with the independent optimality verifier. *)
+
+module Graph = Flow.Graph
+module Mcmf = Flow.Mcmf
+module Verify = Flow.Verify
+
+(* ------------------------------------------------------------------ *)
+(* Graph representation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basic () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  Alcotest.(check int) "node count" 2 (Graph.node_count g);
+  let arc = Graph.add_arc g ~src:a ~dst:b ~cap:5 ~cost:3 in
+  Alcotest.(check int) "arc count" 1 (Graph.arc_count g);
+  Alcotest.(check int) "src" a (Graph.src g arc);
+  Alcotest.(check int) "dst" b (Graph.dst g arc);
+  Alcotest.(check int) "cap" 5 (Graph.capacity g arc);
+  Alcotest.(check int) "cost" 3 (Graph.cost g arc);
+  Alcotest.(check int) "flow 0" 0 (Graph.flow g arc)
+
+let test_graph_push_residual () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  let arc = Graph.add_arc g ~src:a ~dst:b ~cap:5 ~cost:1 in
+  Graph.push g arc 3;
+  Alcotest.(check int) "flow" 3 (Graph.flow g arc);
+  Alcotest.(check int) "residual fwd" 2 (Graph.residual_cap g arc);
+  Alcotest.(check int) "residual rev" 3 (Graph.residual_cap g (Graph.rev arc));
+  Graph.push g (Graph.rev arc) 1;
+  Alcotest.(check int) "flow after undo" 2 (Graph.flow g arc)
+
+let test_graph_push_over_capacity () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  let arc = Graph.add_arc g ~src:a ~dst:b ~cap:2 ~cost:0 in
+  Alcotest.(check bool) "raises" true
+    (try
+       Graph.push g arc 3;
+       false
+     with Invalid_argument _ -> true)
+
+let test_graph_supplies () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  Graph.set_supply g a 4;
+  Graph.set_supply g b (-4);
+  Graph.add_supply g a 2;
+  Alcotest.(check int) "supply a" 6 (Graph.supply g a);
+  Alcotest.(check int) "total positive" 6 (Graph.total_positive_supply g)
+
+let test_graph_add_nodes_bulk () =
+  let g = Graph.create () in
+  let first = Graph.add_nodes g 10 in
+  Alcotest.(check int) "first id" 0 first;
+  Alcotest.(check int) "count" 10 (Graph.node_count g)
+
+let test_graph_reset_flow () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  let arc = Graph.add_arc g ~src:a ~dst:b ~cap:5 ~cost:1 in
+  Graph.push g arc 4;
+  Graph.reset_flow g;
+  Alcotest.(check int) "flow reset" 0 (Graph.flow g arc);
+  Alcotest.(check int) "residual reset" 5 (Graph.residual_cap g arc)
+
+let test_graph_iter_out () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g and c = Graph.add_node g in
+  let _ = Graph.add_arc g ~src:a ~dst:b ~cap:1 ~cost:0 in
+  let _ = Graph.add_arc g ~src:a ~dst:c ~cap:1 ~cost:0 in
+  let targets = Graph.fold_out g a [] (fun acc arc -> Graph.dst g arc :: acc) in
+  Alcotest.(check (list int)) "out neighbours" [ b; c ] (List.sort compare targets)
+
+(* ------------------------------------------------------------------ *)
+(* Solver: hand-checked instances                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two parallel arcs of different costs: cheap one must fill first. *)
+let test_mcmf_prefers_cheap_arc () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 10;
+  Graph.set_supply g t (-10);
+  let cheap = Graph.add_arc g ~src:s ~dst:t ~cap:6 ~cost:1 in
+  let pricey = Graph.add_arc g ~src:s ~dst:t ~cap:10 ~cost:5 in
+  let r = Mcmf.solve g in
+  Alcotest.(check int) "shipped" 10 r.shipped;
+  Alcotest.(check int) "unshipped" 0 r.unshipped;
+  Alcotest.(check int) "cheap full" 6 (Graph.flow g cheap);
+  Alcotest.(check int) "pricey partial" 4 (Graph.flow g pricey);
+  Alcotest.(check int) "cost" ((6 * 1) + (4 * 5)) r.total_cost
+
+(* Classic diamond where the min-cost route must split. *)
+let test_mcmf_diamond () =
+  let g = Graph.create () in
+  let s = Graph.add_node g
+  and a = Graph.add_node g
+  and b = Graph.add_node g
+  and t = Graph.add_node g in
+  Graph.set_supply g s 4;
+  Graph.set_supply g t (-4);
+  let _ = Graph.add_arc g ~src:s ~dst:a ~cap:2 ~cost:1 in
+  let _ = Graph.add_arc g ~src:s ~dst:b ~cap:2 ~cost:2 in
+  let _ = Graph.add_arc g ~src:a ~dst:t ~cap:2 ~cost:1 in
+  let _ = Graph.add_arc g ~src:b ~dst:t ~cap:2 ~cost:1 in
+  let r = Mcmf.solve g in
+  Alcotest.(check int) "shipped" 4 r.shipped;
+  Alcotest.(check int) "cost" ((2 * 2) + (2 * 3)) r.total_cost;
+  (match Verify.check g with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "verify: %a" Verify.pp_violation v)
+
+(* An assignment problem (3 tasks x 3 machines) with known optimum. *)
+let test_mcmf_assignment () =
+  let g = Graph.create () in
+  let tasks = Array.init 3 (fun _ -> Graph.add_node g) in
+  let machines = Array.init 3 (fun _ -> Graph.add_node g) in
+  let sink = Graph.add_node g in
+  Array.iter (fun t -> Graph.set_supply g t 1) tasks;
+  Graph.set_supply g sink (-3);
+  (* Cost matrix with unique optimum 1+2+2 = 5:
+       t0: [1; 4; 5]   t1: [3; 2; 7]   t2: [6; 3; 2] *)
+  let costs = [| [| 1; 4; 5 |]; [| 3; 2; 7 |]; [| 6; 3; 2 |] |] in
+  Array.iteri
+    (fun i t ->
+      Array.iteri
+        (fun j m -> ignore (Graph.add_arc g ~src:t ~dst:m ~cap:1 ~cost:costs.(i).(j)))
+        machines)
+    tasks;
+  Array.iter (fun m -> ignore (Graph.add_arc g ~src:m ~dst:sink ~cap:1 ~cost:0)) machines;
+  let r = Mcmf.solve g in
+  Alcotest.(check int) "all assigned" 3 r.shipped;
+  Alcotest.(check int) "optimal cost" 5 r.total_cost
+
+(* Infeasible supply must be reported as unshipped, not looped on. *)
+let test_mcmf_partial_infeasible () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 10;
+  Graph.set_supply g t (-10);
+  let _ = Graph.add_arc g ~src:s ~dst:t ~cap:3 ~cost:1 in
+  let r = Mcmf.solve g in
+  Alcotest.(check int) "shipped" 3 r.shipped;
+  Alcotest.(check int) "unshipped" 7 r.unshipped
+
+let test_mcmf_disconnected () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 5;
+  Graph.set_supply g t (-5);
+  let r = Mcmf.solve g in
+  Alcotest.(check int) "nothing shipped" 0 r.shipped;
+  Alcotest.(check int) "all unshipped" 5 r.unshipped
+
+(* Negative arc costs exercised via the Bellman–Ford bootstrap. *)
+let test_mcmf_negative_costs () =
+  let g = Graph.create () in
+  let s = Graph.add_node g
+  and a = Graph.add_node g
+  and t = Graph.add_node g in
+  Graph.set_supply g s 2;
+  Graph.set_supply g t (-2);
+  let _ = Graph.add_arc g ~src:s ~dst:a ~cap:2 ~cost:(-3) in
+  let _ = Graph.add_arc g ~src:a ~dst:t ~cap:2 ~cost:1 in
+  let _ = Graph.add_arc g ~src:s ~dst:t ~cap:2 ~cost:0 in
+  let r = Mcmf.solve g in
+  Alcotest.(check int) "shipped" 2 r.shipped;
+  Alcotest.(check int) "cost uses negative arc" (-4) r.total_cost;
+  (match Verify.optimal g with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "not optimal: %a" Verify.pp_violation v)
+
+(* Multi-source multi-sink. *)
+let test_mcmf_multi_source_sink () =
+  let g = Graph.create () in
+  let s1 = Graph.add_node g
+  and s2 = Graph.add_node g
+  and t1 = Graph.add_node g
+  and t2 = Graph.add_node g in
+  Graph.set_supply g s1 3;
+  Graph.set_supply g s2 2;
+  Graph.set_supply g t1 (-4);
+  Graph.set_supply g t2 (-1);
+  let _ = Graph.add_arc g ~src:s1 ~dst:t1 ~cap:3 ~cost:1 in
+  let _ = Graph.add_arc g ~src:s2 ~dst:t1 ~cap:2 ~cost:2 in
+  let _ = Graph.add_arc g ~src:s2 ~dst:t2 ~cap:2 ~cost:1 in
+  let r = Mcmf.solve g in
+  Alcotest.(check int) "shipped" 5 r.shipped;
+  Alcotest.(check int) "cost" (3 + 2 + 1) r.total_cost
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_verify_detects_suboptimal () =
+  (* Manually push flow along the expensive route only; the residual
+     network then contains a negative cycle through the cheap route. *)
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 1;
+  Graph.set_supply g t (-1);
+  let _cheap = Graph.add_arc g ~src:s ~dst:t ~cap:1 ~cost:1 in
+  let pricey = Graph.add_arc g ~src:s ~dst:t ~cap:1 ~cost:10 in
+  Graph.push g pricey 1;
+  (match Verify.optimal g with
+  | Error (Verify.Negative_cycle _) -> ()
+  | Error v -> Alcotest.failf "unexpected violation: %a" Verify.pp_violation v
+  | Ok () -> Alcotest.fail "suboptimal flow accepted")
+
+let test_verify_ok_on_zero_flow () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  let _ = Graph.add_arc g ~src:s ~dst:t ~cap:1 ~cost:1 in
+  match Verify.check g with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "zero flow rejected: %a" Verify.pp_violation v
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_decompose_simple_path () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and a = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 2;
+  Graph.set_supply g t (-2);
+  let _ = Graph.add_arc g ~src:s ~dst:a ~cap:2 ~cost:1 in
+  let _ = Graph.add_arc g ~src:a ~dst:t ~cap:2 ~cost:1 in
+  let _ = Mcmf.solve g in
+  match Mcmf.decompose g with
+  | [ p ] ->
+      Alcotest.(check (list int)) "path" [ s; a; t ] p.Mcmf.nodes;
+      Alcotest.(check int) "amount" 2 p.Mcmf.amount
+  | ps -> Alcotest.failf "expected 1 path, got %d" (List.length ps)
+
+let test_decompose_through_hub () =
+  (* Two sources share an intermediate hub; decomposition must still
+     account every shipped unit exactly once. *)
+  let g = Graph.create () in
+  let s1 = Graph.add_node g
+  and s2 = Graph.add_node g
+  and hub = Graph.add_node g
+  and t = Graph.add_node g in
+  Graph.set_supply g s1 2;
+  Graph.set_supply g s2 3;
+  Graph.set_supply g t (-5);
+  let _ = Graph.add_arc g ~src:s1 ~dst:hub ~cap:2 ~cost:1 in
+  let _ = Graph.add_arc g ~src:s2 ~dst:hub ~cap:3 ~cost:1 in
+  let _ = Graph.add_arc g ~src:hub ~dst:t ~cap:5 ~cost:1 in
+  let r = Mcmf.solve g in
+  let paths = Mcmf.decompose g in
+  Alcotest.(check int) "everything shipped" 5 r.Mcmf.shipped;
+  Alcotest.(check int) "amount accounted" 5
+    (List.fold_left (fun acc p -> acc + p.Mcmf.amount) 0 paths);
+  List.iter
+    (fun (p : Mcmf.path) ->
+      Alcotest.(check bool) "path crosses hub" true (List.mem hub p.nodes))
+    paths
+
+let test_decompose_amounts_sum () =
+  let g = Graph.create () in
+  let s = Graph.add_node g
+  and a = Graph.add_node g
+  and b = Graph.add_node g
+  and t = Graph.add_node g in
+  Graph.set_supply g s 5;
+  Graph.set_supply g t (-5);
+  let _ = Graph.add_arc g ~src:s ~dst:a ~cap:3 ~cost:1 in
+  let _ = Graph.add_arc g ~src:s ~dst:b ~cap:2 ~cost:1 in
+  let _ = Graph.add_arc g ~src:a ~dst:t ~cap:3 ~cost:1 in
+  let _ = Graph.add_arc g ~src:b ~dst:t ~cap:2 ~cost:1 in
+  let r = Mcmf.solve g in
+  let paths = Mcmf.decompose g in
+  let total = List.fold_left (fun acc p -> acc + p.Mcmf.amount) 0 paths in
+  Alcotest.(check int) "amounts sum to shipped" r.Mcmf.shipped total
+
+(* Random bipartite scheduling-shaped instances: tasks -> machines ->
+   sink, plus an always-feasible "unscheduled" node; the solved flow must
+   pass the independent verifier and ship everything. *)
+let random_instance seed =
+  let rng = Prelude.Rng.create seed in
+  let n_tasks = 1 + Prelude.Rng.int rng 12 in
+  let n_machines = 1 + Prelude.Rng.int rng 12 in
+  let g = Graph.create () in
+  let tasks = Array.init n_tasks (fun _ -> Graph.add_node g) in
+  let machines = Array.init n_machines (fun _ -> Graph.add_node g) in
+  let unsched = Graph.add_node g in
+  let sink = Graph.add_node g in
+  Array.iter (fun t -> Graph.set_supply g t 1) tasks;
+  Graph.set_supply g sink (-n_tasks);
+  Array.iter
+    (fun t ->
+      ignore (Graph.add_arc g ~src:t ~dst:unsched ~cap:1 ~cost:50);
+      Array.iter
+        (fun m ->
+          if Prelude.Rng.bernoulli rng 0.5 then
+            ignore (Graph.add_arc g ~src:t ~dst:m ~cap:1 ~cost:(Prelude.Rng.int rng 40)))
+        machines)
+    tasks;
+  Array.iter (fun m -> ignore (Graph.add_arc g ~src:m ~dst:sink ~cap:1 ~cost:0)) machines;
+  ignore (Graph.add_arc g ~src:unsched ~dst:sink ~cap:n_tasks ~cost:0);
+  g
+
+(* ------------------------------------------------------------------ *)
+(* Cost-scaling solver                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Cost_scaling = Flow.Cost_scaling
+
+let test_cost_scaling_simple () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 10;
+  Graph.set_supply g t (-10);
+  let cheap = Graph.add_arc g ~src:s ~dst:t ~cap:6 ~cost:1 in
+  let pricey = Graph.add_arc g ~src:s ~dst:t ~cap:10 ~cost:5 in
+  let r = Cost_scaling.solve g in
+  Alcotest.(check int) "shipped" 10 r.Cost_scaling.shipped;
+  Alcotest.(check int) "cheap full" 6 (Graph.flow g cheap);
+  Alcotest.(check int) "pricey partial" 4 (Graph.flow g pricey);
+  Alcotest.(check int) "cost" 26 r.Cost_scaling.total_cost
+
+let test_cost_scaling_infeasible () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 5;
+  Graph.set_supply g t (-5);
+  let _ = Graph.add_arc g ~src:s ~dst:t ~cap:2 ~cost:3 in
+  let r = Cost_scaling.solve g in
+  Alcotest.(check int) "shipped" 2 r.Cost_scaling.shipped;
+  Alcotest.(check int) "unshipped" 3 r.Cost_scaling.unshipped;
+  Alcotest.(check int) "real cost only" 6 r.Cost_scaling.total_cost
+
+let test_cost_scaling_negative_costs () =
+  let g = Graph.create () in
+  let s = Graph.add_node g and a = Graph.add_node g and t = Graph.add_node g in
+  Graph.set_supply g s 2;
+  Graph.set_supply g t (-2);
+  let _ = Graph.add_arc g ~src:s ~dst:a ~cap:2 ~cost:(-3) in
+  let _ = Graph.add_arc g ~src:a ~dst:t ~cap:2 ~cost:1 in
+  let _ = Graph.add_arc g ~src:s ~dst:t ~cap:2 ~cost:0 in
+  let r = Cost_scaling.solve g in
+  Alcotest.(check int) "shipped" 2 r.Cost_scaling.shipped;
+  Alcotest.(check int) "optimal cost" (-4) r.Cost_scaling.total_cost
+
+let test_cost_scaling_alpha_variants () =
+  (* The scale factor changes phase counts, never the optimum. *)
+  let costs = ref [] in
+  List.iter
+    (fun alpha ->
+      let g = random_instance 4242 in
+      let r = Cost_scaling.solve ~alpha g in
+      costs := r.Cost_scaling.total_cost :: !costs)
+    [ 2; 4; 8; 16 ];
+  match !costs with
+  | c :: rest -> List.iter (fun c' -> Alcotest.(check int) "same optimum" c c') rest
+  | [] -> Alcotest.fail "no runs"
+
+let test_cost_scaling_zero_supply () =
+  let g = Graph.create () in
+  let a = Graph.add_node g and b = Graph.add_node g in
+  let _ = Graph.add_arc g ~src:a ~dst:b ~cap:3 ~cost:1 in
+  let r = Cost_scaling.solve g in
+  Alcotest.(check int) "nothing to ship" 0 r.Cost_scaling.shipped;
+  Alcotest.(check int) "zero cost" 0 r.Cost_scaling.total_cost
+
+let prop_cost_scaling_matches_ssp =
+  (* Both exact algorithms must agree on the optimal cost. *)
+  QCheck.Test.make ~name:"cost scaling agrees with SSP" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g1 = random_instance seed in
+      let g2 = random_instance seed in
+      let r1 = Mcmf.solve g1 in
+      let r2 = Cost_scaling.solve g2 in
+      r1.Mcmf.shipped = r2.Cost_scaling.shipped
+      && r1.Mcmf.total_cost = r2.Cost_scaling.total_cost)
+
+let prop_cost_scaling_verified =
+  QCheck.Test.make ~name:"cost scaling passes the optimality verifier" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_instance seed in
+      let _ = Cost_scaling.solve g in
+      match Verify.check g with Ok () -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_solver_output_verified =
+  QCheck.Test.make ~name:"solver output passes independent verification" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_instance seed in
+      let r = Mcmf.solve g in
+      r.Mcmf.unshipped = 0
+      && (match Verify.check g with Ok () -> true | Error _ -> false))
+
+let prop_decompose_consistent =
+  QCheck.Test.make ~name:"decomposition ships exactly the solved flow" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_instance seed in
+      let r = Mcmf.solve g in
+      let paths = Mcmf.decompose g in
+      let total = List.fold_left (fun acc p -> acc + p.Mcmf.amount) 0 paths in
+      total = r.Mcmf.shipped
+      && List.for_all (fun p -> p.Mcmf.amount > 0 && List.length p.Mcmf.nodes >= 2) paths)
+
+let prop_solver_cost_not_above_greedy =
+  (* Min-cost flow can never cost more than routing everything through the
+     expensive unscheduled arc. *)
+  QCheck.Test.make ~name:"solver cost <= all-unscheduled cost" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_instance seed in
+      let n_tasks =
+        let acc = ref 0 in
+        for v = 0 to Graph.node_count g - 1 do
+          if Graph.supply g v > 0 then acc := !acc + Graph.supply g v
+        done;
+        !acc
+      in
+      let r = Mcmf.solve g in
+      r.Mcmf.total_cost <= 50 * n_tasks)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "flow"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basic" `Quick test_graph_basic;
+          Alcotest.test_case "push/residual" `Quick test_graph_push_residual;
+          Alcotest.test_case "push over capacity" `Quick test_graph_push_over_capacity;
+          Alcotest.test_case "supplies" `Quick test_graph_supplies;
+          Alcotest.test_case "bulk nodes" `Quick test_graph_add_nodes_bulk;
+          Alcotest.test_case "reset flow" `Quick test_graph_reset_flow;
+          Alcotest.test_case "iter out" `Quick test_graph_iter_out;
+        ] );
+      ( "mcmf",
+        [
+          Alcotest.test_case "prefers cheap arc" `Quick test_mcmf_prefers_cheap_arc;
+          Alcotest.test_case "diamond" `Quick test_mcmf_diamond;
+          Alcotest.test_case "assignment" `Quick test_mcmf_assignment;
+          Alcotest.test_case "partial infeasible" `Quick test_mcmf_partial_infeasible;
+          Alcotest.test_case "disconnected" `Quick test_mcmf_disconnected;
+          Alcotest.test_case "negative costs" `Quick test_mcmf_negative_costs;
+          Alcotest.test_case "multi source/sink" `Quick test_mcmf_multi_source_sink;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "detects suboptimal" `Quick test_verify_detects_suboptimal;
+          Alcotest.test_case "ok on zero flow" `Quick test_verify_ok_on_zero_flow;
+        ] );
+      ( "cost_scaling",
+        Alcotest.test_case "simple" `Quick test_cost_scaling_simple
+        :: Alcotest.test_case "infeasible" `Quick test_cost_scaling_infeasible
+        :: Alcotest.test_case "negative costs" `Quick test_cost_scaling_negative_costs
+        :: Alcotest.test_case "alpha variants" `Quick test_cost_scaling_alpha_variants
+        :: Alcotest.test_case "zero supply" `Quick test_cost_scaling_zero_supply
+        :: qt [ prop_cost_scaling_matches_ssp; prop_cost_scaling_verified ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "simple path" `Quick test_decompose_simple_path;
+          Alcotest.test_case "amounts sum" `Quick test_decompose_amounts_sum;
+          Alcotest.test_case "through hub" `Quick test_decompose_through_hub;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_solver_output_verified;
+            prop_decompose_consistent;
+            prop_solver_cost_not_above_greedy;
+          ] );
+    ]
