@@ -1,0 +1,30 @@
+.PHONY: all build test check doc clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate plus a smoke-check that the observability flags are wired
+# into the CLI (docs/OBSERVABILITY.md documents them).
+check:
+	dune build
+	dune runtest
+	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--trace'
+	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--obs-summary'
+	@echo "check: OK"
+
+# odoc is optional in this environment; the lib/obs dune env marks its
+# odoc warnings fatal, so when odoc is present the docs must be clean.
+doc:
+	@if command -v odoc >/dev/null 2>&1; then \
+		dune build @doc; \
+	else \
+		echo "doc: odoc not installed, skipping"; \
+	fi
+
+clean:
+	dune clean

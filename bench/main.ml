@@ -16,7 +16,9 @@
    Environment knobs:
      HIRE_BENCH_FAST=1     smaller sweep (smoke-test the harness)
      HIRE_BENCH_SEEDS=n    number of seeds per cell (default 3, as in the paper)
-     HIRE_BENCH_HORIZON=s  trace length in seconds (default 400) *)
+     HIRE_BENCH_HORIZON=s  trace length in seconds (default 400)
+     HIRE_BENCH_TRACE=f    enable instrumentation, stream JSONL trace events to f
+     HIRE_BENCH_OBS=1      enable instrumentation, print the registry summary at exit *)
 
 module Metrics = Sim.Metrics
 module Experiment = Harness.Experiment
@@ -86,8 +88,9 @@ let cell ~scheduler ~mu ~setup =
 let mean_of ~scheduler ~mu ~setup f =
   Stats.mean (List.map f (cell ~scheduler ~mu ~setup).reports)
 
-let concat_of ~scheduler ~mu ~setup f =
-  List.concat_map f (cell ~scheduler ~mu ~setup).reports
+(* Pools a per-report histogram across the cell's seeds. *)
+let merged_of ~scheduler ~mu ~setup f =
+  Obs.Histogram.merged (List.map f (cell ~scheduler ~mu ~setup).reports)
 
 (* ------------------------------------------------------------------ *)
 (* Printing helpers                                                   *)
@@ -144,30 +147,29 @@ let fig7 () =
     "p90(ms)" "p99(ms)" "max(ms)";
   List.iter
     (fun mu ->
-      let samples =
-        concat_of ~scheduler:"hire" ~mu ~setup:Sim.Cluster.Homogeneous (fun r ->
-            r.Metrics.solver_samples)
-        |> List.map (fun s -> s *. 1000.0)
+      let h =
+        merged_of ~scheduler:"hire" ~mu ~setup:Sim.Cluster.Homogeneous (fun r ->
+            r.Metrics.solver_wall)
       in
-      if samples <> [] then begin
-        let p q = Stats.percentile q samples in
+      if Obs.Histogram.count h > 0 then begin
+        let p q = 1000.0 *. Obs.Histogram.quantile h q in
         Printf.printf "%-6.2f %8d %10.3f %10.3f %10.3f %10.3f %10.3f\n" mu
-          (List.length samples) (p 10.0) (p 50.0) (p 90.0) (p 99.0) (p 100.0)
+          (Obs.Histogram.count h) (p 0.10) (p 0.50) (p 0.90) (p 0.99)
+          (1000.0 *. Obs.Histogram.max_value h)
       end)
     mus7;
   (* CDF/CCDF rows for the mu extremes, as in the figure. *)
   List.iter
     (fun mu ->
-      let samples =
-        concat_of ~scheduler:"hire" ~mu ~setup:Sim.Cluster.Homogeneous (fun r ->
-            r.Metrics.solver_samples)
-        |> List.map (fun s -> s *. 1000.0)
+      let h =
+        merged_of ~scheduler:"hire" ~mu ~setup:Sim.Cluster.Homogeneous (fun r ->
+            r.Metrics.solver_wall)
       in
-      if samples <> [] then begin
+      if Obs.Histogram.count h > 0 then begin
         Printf.printf "\nCDF of solver time (ms) at mu=%.2f:\n  " mu;
         List.iter
-          (fun (v, f) -> Printf.printf "(%.3f, %.2f) " v f)
-          (Stats.cdf_points ~points:10 samples);
+          (fun (v, f) -> Printf.printf "(%.3f, %.2f) " (1000.0 *. v) f)
+          (Obs.Histogram.cdf_points ~points:10 h);
         print_newline ()
       end)
     [ List.hd mus7; List.nth mus7 (List.length mus7 - 1) ]
@@ -244,22 +246,23 @@ let fig8_latency ~tag ~setup =
     "p99" "p99.9" "max";
   List.iter
     (fun scheduler ->
-      let lats = concat_of ~scheduler ~mu:1.0 ~setup (fun r -> r.Metrics.placement_latencies) in
-      if lats <> [] then begin
-        let p q = Stats.percentile q lats in
+      let h = merged_of ~scheduler ~mu:1.0 ~setup (fun r -> r.Metrics.placement_latency) in
+      if Obs.Histogram.count h > 0 then begin
+        let p q = Obs.Histogram.quantile h q in
         Printf.printf "%-20s %8d %10.3f %10.3f %10.3f %10.3f %10.3f\n" scheduler
-          (List.length lats) (p 50.0) (p 90.0) (p 99.0) (p 99.9) (p 100.0)
+          (Obs.Histogram.count h) (p 0.50) (p 0.90) (p 0.99) (p 0.999)
+          (Obs.Histogram.max_value h)
       end)
     schedulers;
   Printf.printf "\nCCDF points (latency s, fraction above) at mu=1:\n";
   List.iter
     (fun scheduler ->
-      let lats = concat_of ~scheduler ~mu:1.0 ~setup (fun r -> r.Metrics.placement_latencies) in
-      if lats <> [] then begin
+      let h = merged_of ~scheduler ~mu:1.0 ~setup (fun r -> r.Metrics.placement_latency) in
+      if Obs.Histogram.count h > 0 then begin
         Printf.printf "%-20s " scheduler;
         List.iter
           (fun (v, f) -> Printf.printf "(%.2f, %.3f) " v f)
-          (Stats.ccdf_points ~points:8 lats);
+          (Obs.Histogram.ccdf_points ~points:8 h);
         print_newline ()
       end)
     schedulers
@@ -279,13 +282,13 @@ let ablations () =
     (fun scheduler ->
       let c = cell ~scheduler ~mu:1.0 ~setup:Sim.Cluster.Homogeneous in
       let mean f = Stats.mean (List.map f c.reports) in
-      let lats = List.concat_map (fun r -> r.Metrics.placement_latencies) c.reports in
+      let lats = Obs.Histogram.merged (List.map (fun r -> r.Metrics.placement_latency) c.reports) in
       Printf.printf "%-16s %12.3f %12.3f %10.3f %10.4f %12.2f\n" scheduler
         (mean Metrics.inc_satisfaction_ratio)
         (mean Metrics.inc_tg_unserved_ratio)
         (mean (fun r -> r.Metrics.detour_mean))
         (mean (fun r -> r.Metrics.switch_load.(1)))
-        (if lats = [] then 0.0 else Stats.percentile 99.0 lats))
+        (if Obs.Histogram.count lats = 0 then 0.0 else Obs.Histogram.quantile lats 0.99))
     [ "hire"; "hire-simple"; "hire-noloc"; "hire-noshare"; "hire-scaling" ]
 
 (* ------------------------------------------------------------------ *)
@@ -393,6 +396,10 @@ let bechamel_benches () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let trace_path = Sys.getenv_opt "HIRE_BENCH_TRACE" in
+  let obs_summary = Sys.getenv_opt "HIRE_BENCH_OBS" <> None in
+  if trace_path <> None || obs_summary then Obs.set_enabled true;
+  (match trace_path with Some f -> Obs.Trace.open_jsonl f | None -> ());
   Printf.printf "HIRE reproduction benchmark harness\n";
   Printf.printf "seeds=%d horizon=%.0fs mus=[%s] fat-tree k=%d\n" (List.length seeds) horizon
     (String.concat "; " (List.map (Printf.sprintf "%.2f") mus))
@@ -418,4 +425,13 @@ let () =
   bechamel_benches ();
   Sim.Csv_export.write_file "bench_results.csv" (List.rev !csv_rows);
   Printf.printf "\nper-cell rows written to bench_results.csv\n";
+  if obs_summary then begin
+    Printf.printf "\n--- observability summary ---\n";
+    Format.printf "%a%!" Obs.Registry.pp_summary ()
+  end;
+  (match trace_path with
+  | Some f ->
+      Obs.Trace.close_jsonl ();
+      Printf.printf "\ntrace events written to %s\n" f
+  | None -> ());
   Printf.printf "\ndone.\n"

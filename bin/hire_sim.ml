@@ -3,7 +3,15 @@
    the artifact's runner tool.  Prints the metric summary the figures are
    built from; see bench/main.ml for the full sweep. *)
 
-let run scheduler mu k horizon seeds setup util fraction verbose csv =
+let run scheduler mu k horizon seeds setup util fraction verbose csv trace obs_summary =
+  if trace <> None || obs_summary then Obs.set_enabled true;
+  (match trace with
+  | Some path -> (
+      try Obs.Trace.open_jsonl path
+      with Sys_error msg ->
+        Printf.eprintf "hire_sim: cannot open trace file: %s\n" msg;
+        exit 1)
+  | None -> ());
   let setup =
     match setup with
     | "homogeneous" | "homog" -> Sim.Cluster.Homogeneous
@@ -37,18 +45,18 @@ let run scheduler mu k horizon seeds setup util fraction verbose csv =
       Printf.printf "seed %d: %s\n" (List.nth seeds i)
         (Format.asprintf "%a" Sim.Metrics.pp_report r);
       if verbose then begin
-        let lats = r.Sim.Metrics.placement_latencies in
-        if lats <> [] then begin
+        let lats = r.Sim.Metrics.placement_latency in
+        if Obs.Histogram.count lats > 0 then begin
           Printf.printf "  placement latency: ";
           List.iter
-            (fun (p, v) -> Printf.printf "p%.0f=%.3fs " p v)
-            (Prelude.Stats.percentiles [ 50.0; 90.0; 99.0 ] lats);
+            (fun q -> Printf.printf "p%.0f=%.3fs " (100.0 *. q) (Obs.Histogram.quantile lats q))
+            [ 0.5; 0.9; 0.99 ];
           print_newline ()
         end;
-        if r.Sim.Metrics.solver_samples <> [] then
-          Printf.printf "  solver: %d solves, median %.3f ms\n"
-            (List.length r.Sim.Metrics.solver_samples)
-            (1000.0 *. Prelude.Stats.percentile 50.0 r.Sim.Metrics.solver_samples)
+        let solver = r.Sim.Metrics.solver_wall in
+        if Obs.Histogram.count solver > 0 then
+          Printf.printf "  solver: %d solves, median %.3f ms\n" (Obs.Histogram.count solver)
+            (1000.0 *. Obs.Histogram.quantile solver 0.5)
       end)
     reports;
   (match csv with
@@ -68,7 +76,17 @@ let run scheduler mu k horizon seeds setup util fraction verbose csv =
     (List.length reports)
     (mean Sim.Metrics.inc_satisfaction_ratio)
     (mean Sim.Metrics.inc_tg_unserved_ratio)
-    (mean (fun r -> r.Sim.Metrics.detour_mean))
+    (mean (fun r -> r.Sim.Metrics.detour_mean));
+  if obs_summary then begin
+    Printf.printf "--- observability summary ---\n%!";
+    Format.printf "%a%!" Obs.Registry.pp_summary ()
+  end;
+  (match trace with
+  | Some path ->
+      Obs.Trace.close_jsonl ();
+      Printf.printf "trace written to %s (%d records retained in ring)\n" path
+        (Obs.Trace.length ())
+  | None -> ())
 
 open Cmdliner
 
@@ -116,6 +134,20 @@ let csv =
   let doc = "Also write per-seed metric rows to $(docv) (the artifact's stats-file spirit)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let trace =
+  let doc =
+    "Enable instrumentation and stream structured trace events (JSONL, one object per \
+     line) to $(docv).  Schema and event inventory: docs/OBSERVABILITY.md."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_summary =
+  let doc =
+    "Enable instrumentation and print every counter, gauge, and histogram of the \
+     observability registry after the run."
+  in
+  Arg.(value & flag & info [ "obs-summary" ] ~doc)
+
 let cmd =
   let doc = "run one HIRE-reproduction scheduling experiment" in
   let man =
@@ -132,6 +164,6 @@ let cmd =
     (Cmd.info "hire_sim" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction $ verbose
-      $ csv)
+      $ csv $ trace $ obs_summary)
 
 let () = exit (Cmd.eval cmd)

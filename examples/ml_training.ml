@@ -84,7 +84,7 @@ let () =
   (* The INC variant shrinks the worker group and its runtime by the
      service's saving factor (capped at 10% per the paper's methodology),
      freeing server capacity for other tenants. *)
-  let lat r = Prelude.Stats.percentile 50.0 r.Sim.Metrics.placement_latencies in
+  let lat r = Obs.Histogram.quantile r.Sim.Metrics.placement_latency 0.5 in
   Format.printf "@.median placement latency: with INC %.3fs, without %.3fs@."
     (lat with_inc) (lat without_inc);
   Format.printf "requested server-hours (both variants submitted): %.1f@."

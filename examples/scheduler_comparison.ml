@@ -24,15 +24,11 @@ let () =
   List.iter
     (fun scheduler ->
       let r = Harness.Experiment.run { spec with scheduler } in
-      let lat p =
-        match r.Sim.Metrics.placement_latencies with
-        | [] -> 0.0
-        | l -> Prelude.Stats.percentile p l
-      in
+      let lat q = Obs.Histogram.quantile r.Sim.Metrics.placement_latency q in
       Format.printf "%-20s %9.1f%% %11.1f%% %9.2f %8.2fs %8.2fs@." scheduler
         (100.0 *. Sim.Metrics.inc_satisfaction_ratio r)
         (100.0 *. Sim.Metrics.inc_tg_unserved_ratio r)
-        r.Sim.Metrics.detour_mean (lat 50.0) (lat 99.0))
+        r.Sim.Metrics.detour_mean (lat 0.5) (lat 0.99))
     [
       "hire";
       "hire-simple";

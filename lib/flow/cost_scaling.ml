@@ -11,15 +11,27 @@ type result = {
   pushes : int;
   relabels : int;
   elapsed_s : float;
+  profile : Obs.Solver_profile.t;
 }
 
 let solve ?(alpha = 8) g =
   if alpha < 2 then invalid_arg "Cost_scaling.solve: alpha must be >= 2";
   let t0 = Unix.gettimeofday () in
+  let instrument = Obs.enabled () in
+  let t_saturate = ref 0.0 and t_discharge = ref 0.0 in
+  let staged acc f =
+    if instrument then begin
+      let s0 = Unix.gettimeofday () in
+      let r = f () in
+      acc := !acc +. (Unix.gettimeofday () -. s0);
+      r
+    end
+    else f ()
+  in
   let n0 = Graph.node_count g in
   if n0 = 0 then
     { shipped = 0; unshipped = 0; total_cost = 0; phases = 0; pushes = 0; relabels = 0;
-      elapsed_s = 0.0 }
+      elapsed_s = 0.0; profile = Obs.Solver_profile.zero ~solver:"cost-scaling" }
   else begin
     (* Find the cost bound before adding artificial arcs. *)
     let max_abs_cost = ref 1 in
@@ -94,20 +106,24 @@ let solve ?(alpha = 8) g =
       incr phases;
       (* Restore ε-optimality for the smaller ε by saturating every
          negative-reduced-cost arc. *)
-      Graph.iter_arcs g (fun a ->
-          let v = Graph.src g a in
-          if Graph.residual_cap g a > 0 && reduced v a < 0 then push v a (Graph.residual_cap g a);
-          let r = Graph.rev a in
-          let w = Graph.dst g a in
-          if Graph.residual_cap g r > 0 && reduced w r < 0 then push w r (Graph.residual_cap g r));
-      for v = 0 to n - 1 do
-        activate v
-      done;
-      while not (Queue.is_empty queue) do
-        let v = Queue.pop queue in
-        in_queue.(v) <- false;
-        discharge v
-      done;
+      staged t_saturate (fun () ->
+          Graph.iter_arcs g (fun a ->
+              let v = Graph.src g a in
+              if Graph.residual_cap g a > 0 && reduced v a < 0 then
+                push v a (Graph.residual_cap g a);
+              let r = Graph.rev a in
+              let w = Graph.dst g a in
+              if Graph.residual_cap g r > 0 && reduced w r < 0 then
+                push w r (Graph.residual_cap g r));
+          for v = 0 to n - 1 do
+            activate v
+          done);
+      staged t_discharge (fun () ->
+          while not (Queue.is_empty queue) do
+            let v = Queue.pop queue in
+            in_queue.(v) <- false;
+            discharge v
+          done);
       if !eps <= 1 then running := false else eps := max 1 ((!eps + alpha - 1) / alpha)
     done;
     (* Account artificial flow as unshipped and neutralize its cost;
@@ -117,6 +133,21 @@ let solve ?(alpha = 8) g =
     let artificial_cost =
       List.fold_left (fun acc a -> acc + (Graph.flow g a * big)) 0 (!art_out @ !art_in)
     in
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let profile =
+      {
+        (Obs.Solver_profile.zero ~solver:"cost-scaling") with
+        nodes = n;
+        arcs = Graph.arc_count g;
+        phases = !phases;
+        pushes = !pushes;
+        relabels = !relabels;
+        stages =
+          (if instrument then [ ("saturate", !t_saturate); ("discharge", !t_discharge) ] else []);
+        wall_s = elapsed_s;
+      }
+    in
+    if instrument then Obs.Solver_profile.emit profile;
     {
       shipped = total_supply - unshipped;
       unshipped;
@@ -124,6 +155,7 @@ let solve ?(alpha = 8) g =
       phases = !phases;
       pushes = !pushes;
       relabels = !relabels;
-      elapsed_s = Unix.gettimeofday () -. t0;
+      elapsed_s;
+      profile;
     }
   end

@@ -22,6 +22,9 @@ type result = {
   pushes : int;
   relabels : int;
   elapsed_s : float;
+  profile : Obs.Solver_profile.t;
+      (** structured solve profile; per-stage timings are populated only
+          when [Obs.enabled ()] held during the solve *)
 }
 
 (** [solve ?alpha g] runs cost scaling with scale factor [alpha]

@@ -6,6 +6,7 @@ type result = {
   total_cost : int;
   augmentations : int;
   elapsed_s : float;
+  profile : Obs.Solver_profile.t;
 }
 
 let infinity_dist = max_int / 4
@@ -77,6 +78,17 @@ let dijkstra g excess pot dist parent =
 
 let solve g =
   let t0 = Unix.gettimeofday () in
+  let instrument = Obs.enabled () in
+  let t_spfa = ref 0.0 and t_dijkstra = ref 0.0 and t_augment = ref 0.0 in
+  let staged acc f =
+    if instrument then begin
+      let s0 = Unix.gettimeofday () in
+      let r = f () in
+      acc := !acc +. (Unix.gettimeofday () -. s0);
+      r
+    end
+    else f ()
+  in
   let n = Graph.node_count g in
   let excess = Array.init n (Graph.supply g) in
   let pot = Array.make n 0 in
@@ -84,7 +96,7 @@ let solve g =
   let has_negative = ref false in
   Graph.iter_arcs g (fun a -> if Graph.cost g a < 0 then has_negative := true);
   if !has_negative then begin
-    let dist = spfa g excess in
+    let dist = staged t_spfa (fun () -> spfa g excess) in
     for v = 0 to n - 1 do
       if dist.(v) < infinity_dist then pot.(v) <- dist.(v)
     done
@@ -102,7 +114,7 @@ let solve g =
   in
   let continue_ = ref (remaining_supply () > 0) in
   while !continue_ do
-    dijkstra g excess pot dist parent;
+    staged t_dijkstra (fun () -> dijkstra g excess pot dist parent);
     (* Nearest reachable deficit node. *)
     let best = ref (-1) in
     for v = 0 to n - 1 do
@@ -112,39 +124,56 @@ let solve g =
     match !best with
     | -1 -> continue_ := false
     | target ->
-        (* Bottleneck along the path back to whichever source started it. *)
-        let bottleneck = ref (-excess.(target)) in
-        let v = ref target in
-        while parent.(!v) >= 0 do
-          let a = parent.(!v) in
-          if Graph.residual_cap g a < !bottleneck then bottleneck := Graph.residual_cap g a;
-          v := Graph.src g a
-        done;
-        let source = !v in
-        if excess.(source) < !bottleneck then bottleneck := excess.(source);
-        let amount = !bottleneck in
-        let v = ref target in
-        while parent.(!v) >= 0 do
-          let a = parent.(!v) in
-          Graph.push g a amount;
-          v := Graph.src g a
-        done;
-        excess.(source) <- excess.(source) - amount;
-        excess.(target) <- excess.(target) + amount;
-        shipped := !shipped + amount;
-        incr augmentations;
-        (* Johnson potential update keeps reduced costs non-negative. *)
-        for u = 0 to n - 1 do
-          if dist.(u) < infinity_dist then pot.(u) <- pot.(u) + dist.(u)
-        done;
-        if remaining_supply () = 0 then continue_ := false
+        staged t_augment (fun () ->
+            (* Bottleneck along the path back to whichever source started it. *)
+            let bottleneck = ref (-excess.(target)) in
+            let v = ref target in
+            while parent.(!v) >= 0 do
+              let a = parent.(!v) in
+              if Graph.residual_cap g a < !bottleneck then bottleneck := Graph.residual_cap g a;
+              v := Graph.src g a
+            done;
+            let source = !v in
+            if excess.(source) < !bottleneck then bottleneck := excess.(source);
+            let amount = !bottleneck in
+            let v = ref target in
+            while parent.(!v) >= 0 do
+              let a = parent.(!v) in
+              Graph.push g a amount;
+              v := Graph.src g a
+            done;
+            excess.(source) <- excess.(source) - amount;
+            excess.(target) <- excess.(target) + amount;
+            shipped := !shipped + amount;
+            incr augmentations;
+            (* Johnson potential update keeps reduced costs non-negative. *)
+            for u = 0 to n - 1 do
+              if dist.(u) < infinity_dist then pot.(u) <- pot.(u) + dist.(u)
+            done;
+            if remaining_supply () = 0 then continue_ := false)
   done;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let profile =
+    {
+      (Obs.Solver_profile.zero ~solver:"ssp") with
+      nodes = n;
+      arcs = Graph.arc_count g;
+      augmentations = !augmentations;
+      stages =
+        (if instrument then
+           [ ("spfa", !t_spfa); ("dijkstra", !t_dijkstra); ("augment", !t_augment) ]
+         else []);
+      wall_s = elapsed_s;
+    }
+  in
+  if instrument then Obs.Solver_profile.emit profile;
   {
     shipped = !shipped;
     unshipped = remaining_supply ();
     total_cost = Graph.flow_cost g;
     augmentations = !augmentations;
-    elapsed_s = Unix.gettimeofday () -. t0;
+    elapsed_s;
+    profile;
   }
 
 type path = { nodes : int list; amount : int }

@@ -8,6 +8,16 @@
     flow-based schedulers use the solver (an "unscheduled" node normally
     guarantees feasibility).
 
+    Note that this graceful-degradation semantics of [unshipped] is
+    specific to this backend.  The cost-scaling backend
+    ({!Cost_scaling}) is an exact method that requires a feasible
+    instance; it routes stranded supply over artificial
+    maximum-penalty arcs, and {!Flow_network.solve_and_extract} maps
+    that artificial flow back to a nonzero [unshipped] count here.
+    Equal [unshipped] values therefore mean the same thing across
+    backends, but only cost-scaling pays the artificial-arc cost in
+    [total_cost].
+
     Negative arc costs are supported: one Bellman–Ford (SPFA) pass
     bootstraps the potentials, after which Dijkstra on reduced costs runs
     each augmentation.  Complexity is O(F · m log n) where F is total
@@ -19,6 +29,9 @@ type result = {
   total_cost : int;  (** cost of the final flow *)
   augmentations : int;  (** number of augmenting paths used *)
   elapsed_s : float;  (** wall-clock solve time *)
+  profile : Obs.Solver_profile.t;
+      (** structured solve profile; per-stage timings are populated only
+          when [Obs.enabled ()] held during the solve *)
 }
 
 (** [solve g] computes a min-cost max-flow on [g], mutating arc flows in

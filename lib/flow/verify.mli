@@ -1,6 +1,7 @@
-(** Independent checks of a solved flow, used by the test suite and the
-    CLI's [--verify] flag.  These re-derive properties from first
-    principles rather than trusting the solver's bookkeeping. *)
+(** Independent checks of a solved flow, used by the test suite
+    ([test/test_flow.ml] runs them after every solver test and in the
+    SSP-vs-cost-scaling cross-check).  These re-derive properties from
+    first principles rather than trusting the solver's bookkeeping. *)
 
 type violation =
   | Capacity_exceeded of Graph.arc

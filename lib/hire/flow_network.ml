@@ -508,8 +508,10 @@ let solve_and_extract ?(solver = Ssp) t =
           total_cost = r.Flow.Cost_scaling.total_cost;
           augmentations = r.Flow.Cost_scaling.pushes;
           elapsed_s = r.Flow.Cost_scaling.elapsed_s;
+          profile = r.Flow.Cost_scaling.profile;
         }
   in
+  let extract_t0 = if Obs.enabled () then Obs.now_wall () else 0.0 in
   let paths = Mcmf.decompose t.graph in
   let placements = ref [] and flavor_picks = ref [] in
   List.iter
@@ -535,4 +537,12 @@ let solve_and_extract ?(solver = Ssp) t =
           done
       | _ -> ())
     paths;
+  if Obs.enabled () then
+    Obs.Trace.emit "flow_extract"
+      [
+        ("paths", Obs.Trace.Int (List.length paths));
+        ("placements", Obs.Trace.Int (List.length !placements));
+        ("flavor_picks", Obs.Trace.Int (List.length !flavor_picks));
+        ("extract_s", Obs.Trace.Float (Obs.now_wall () -. extract_t0));
+      ];
   { placements = List.rev !placements; flavor_picks = List.rev !flavor_picks; solver }

@@ -123,6 +123,16 @@ let inc_still_feasible t (job : Pending.job_state) =
              >= ts.remaining)
 
 let run_round t ~time =
+  let round_t0 = if Obs.enabled () then Obs.now_wall () else 0.0 in
+  if Obs.enabled () then begin
+    Obs.Trace.emit "round_start"
+      [
+        ("sched", Obs.Trace.Str (name t));
+        ("time", Obs.Trace.Float time);
+        ("pending_jobs", Obs.Trace.Int (pending_jobs t));
+      ];
+    Obs.Registry.incr (Obs.Registry.counter "hire.rounds")
+  end;
   let params = t.config.params in
   let cancelled = ref [] in
   let fallbacks = ref 0 in
@@ -143,22 +153,54 @@ let run_round t ~time =
         cancelled := !cancelled @ List.map (fun ts -> ts.Pending.tg) dropped
       end)
     (job_list t);
+  let emit_round_end (o : round_outcome) =
+    if Obs.enabled () then begin
+      let round_s = Obs.now_wall () -. round_t0 in
+      Obs.Trace.emit "round_end"
+        [
+          ("placements", Obs.Trace.Int (List.length o.placements));
+          ("cancelled", Obs.Trace.Int (List.length o.cancelled));
+          ("fallbacks", Obs.Trace.Int o.fallbacks);
+          ("flavor_decisions", Obs.Trace.Int (List.length o.flavor_decisions));
+          ("round_s", Obs.Trace.Float round_s);
+        ];
+      Obs.Registry.incr ~by:(List.length o.placements) (Obs.Registry.counter "hire.placements");
+      Obs.Registry.incr ~by:(List.length o.cancelled) (Obs.Registry.counter "hire.cancelled");
+      Obs.Registry.incr ~by:o.fallbacks (Obs.Registry.counter "hire.fallbacks");
+      Obs.Registry.incr
+        ~by:(List.length o.flavor_decisions)
+        (Obs.Registry.counter "hire.flavor_decisions");
+      Obs.Histogram.observe (Obs.Registry.histogram "hire.round_s") round_s
+    end;
+    o
+  in
   let jobs = job_list t in
   if not (List.exists Pending.has_pending_work jobs) then begin
     cleanup t;
-    {
-      placements = [];
-      cancelled = !cancelled;
-      fallbacks = !fallbacks;
-      flavor_decisions = [];
-      solver = None;
-      graph_nodes = 0;
-      graph_arcs = 0;
-    }
+    emit_round_end
+      {
+        placements = [];
+        cancelled = !cancelled;
+        fallbacks = !fallbacks;
+        flavor_decisions = [];
+        solver = None;
+        graph_nodes = 0;
+        graph_arcs = 0;
+      }
   end
   else begin
     let net = Flow_network.build t.view t.census ~jobs ~now:time ~params in
     let nodes, arcs = Flow_network.size net in
+    if Obs.enabled () then begin
+      let build_s = Obs.now_wall () -. round_t0 in
+      Obs.Trace.emit "network_built"
+        [
+          ("nodes", Obs.Trace.Int nodes);
+          ("arcs", Obs.Trace.Int arcs);
+          ("build_s", Obs.Trace.Float build_s);
+        ];
+      Obs.Histogram.observe (Obs.Registry.histogram "hire.build_s") build_s
+    end;
     let outcome = Flow_network.solve_and_extract ~solver:t.config.solver net in
     let decisions = ref [] in
     (* Apply flavor picks first so picked groups materialize. *)
@@ -172,6 +214,12 @@ let run_round t ~time =
             | Some ts ->
                 if Pending.status job ts = Flavor.Undecided then begin
                   decisions := (job_id, Poly_req.is_network ts.tg) :: !decisions;
+                  if Obs.enabled () then
+                    Obs.Trace.emit "flavor_decision"
+                      [
+                        ("job", Obs.Trace.Int job_id);
+                        ("inc", Obs.Trace.Bool (Poly_req.is_network ts.tg));
+                      ];
                   let dropped = Pending.decide job ts in
                   cancelled := !cancelled @ List.map (fun d -> d.Pending.tg) dropped;
                   if t.config.simple_flavor then begin
@@ -205,15 +253,16 @@ let run_round t ~time =
         outcome.placements
     in
     cleanup t;
-    {
-      placements;
-      cancelled = !cancelled;
-      fallbacks = !fallbacks;
-      flavor_decisions = List.rev !decisions;
-      solver = Some outcome.solver;
-      graph_nodes = nodes;
-      graph_arcs = arcs;
-    }
+    emit_round_end
+      {
+        placements;
+        cancelled = !cancelled;
+        fallbacks = !fallbacks;
+        flavor_decisions = List.rev !decisions;
+        solver = Some outcome.solver;
+        graph_nodes = nodes;
+        graph_arcs = arcs;
+      }
   end
 
 let on_task_complete t ~tg_id ~machine =

@@ -1,0 +1,18 @@
+(** Master switch of the observability layer.
+
+    Everything in [lib/obs] is off by default.  Hot paths guard each
+    emission site with [if Obs.enabled () then ...]; because OCaml only
+    evaluates a function application inside the branch it occurs in, a
+    disabled build pays one load-and-branch per site and allocates
+    nothing. *)
+
+(** [enabled ()] is [true] while instrumentation is switched on. *)
+val enabled : unit -> bool
+
+(** [set_enabled b] flips the global switch. *)
+val set_enabled : bool -> unit
+
+(** [now_wall ()] is the current wall-clock time in seconds
+    ([Unix.gettimeofday]); exposed here so instrumented libraries need
+    no direct [unix] dependency for timing. *)
+val now_wall : unit -> float

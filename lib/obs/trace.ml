@@ -1,0 +1,307 @@
+type level = Debug | Info | Warn
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type record = {
+  seq : int;
+  t_sim : float;
+  t_wall : float;
+  level : level;
+  name : string;
+  fields : (string * value) list;
+}
+
+(* --- ring buffer --- *)
+
+let default_capacity = 65536
+let ring : record option array ref = ref (Array.make default_capacity None)
+let head = ref 0 (* next write position *)
+let stored = ref 0
+let seq_counter = ref 0
+let sim_clock = ref 0.0
+let sink : out_channel option ref = ref None
+
+let set_sim_time t = sim_clock := t
+let sim_time () = !sim_clock
+let length () = !stored
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  ring := Array.make n None;
+  head := 0;
+  stored := 0
+
+let clear () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  head := 0;
+  stored := 0;
+  seq_counter := 0
+
+let records () =
+  let cap = Array.length !ring in
+  let n = !stored in
+  let first = (!head - n + cap) mod cap in
+  List.init n (fun i ->
+      match !ring.((first + i) mod cap) with
+      | Some r -> r
+      | None -> assert false)
+
+(* --- JSON rendering --- *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_add_json_float b f =
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else begin
+    let s = Printf.sprintf "%.17g" f in
+    Buffer.add_string b s;
+    (* ensure the token parses back as a float, not an int *)
+    if
+      not
+        (String.exists (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i') s)
+    then Buffer.add_string b ".0"
+  end
+
+let level_to_string = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let level_of_string = function
+  | "debug" -> Debug
+  | "info" -> Info
+  | "warn" -> Warn
+  | s -> failwith ("Trace.of_json: unknown level " ^ s)
+
+let to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"seq\":";
+  Buffer.add_string b (string_of_int r.seq);
+  Buffer.add_string b ",\"t_sim\":";
+  buf_add_json_float b r.t_sim;
+  Buffer.add_string b ",\"t_wall\":";
+  buf_add_json_float b r.t_wall;
+  Buffer.add_string b ",\"level\":";
+  buf_add_json_string b (level_to_string r.level);
+  Buffer.add_string b ",\"event\":";
+  buf_add_json_string b r.name;
+  Buffer.add_string b ",\"fields\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      match v with
+      | Int n -> Buffer.add_string b (string_of_int n)
+      | Float f -> buf_add_json_float b f
+      | Str s -> buf_add_json_string b s
+      | Bool bo -> Buffer.add_string b (if bo then "true" else "false"))
+    r.fields;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* --- minimal JSON parser (only the subset to_json produces) --- *)
+
+type token =
+  | TLbrace
+  | TRbrace
+  | TColon
+  | TComma
+  | TString of string
+  | TNumber of string
+  | TBool of bool
+  | TNull
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '{' ->
+        toks := TLbrace :: !toks;
+        incr i
+    | '}' ->
+        toks := TRbrace :: !toks;
+        incr i
+    | ':' ->
+        toks := TColon :: !toks;
+        incr i
+    | ',' ->
+        toks := TComma :: !toks;
+        incr i
+    | '"' ->
+        let b = Buffer.create 16 in
+        incr i;
+        let finished = ref false in
+        while not !finished do
+          if !i >= n then failwith "Trace.of_json: unterminated string";
+          let c = s.[!i] in
+          if c = '"' then begin
+            finished := true;
+            incr i
+          end
+          else if c = '\\' then begin
+            if !i + 1 >= n then failwith "Trace.of_json: bad escape";
+            (match s.[!i + 1] with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                if !i + 5 >= n then failwith "Trace.of_json: bad \\u escape";
+                let code = int_of_string ("0x" ^ String.sub s (!i + 2) 4) in
+                if code > 0xff then failwith "Trace.of_json: non-latin \\u escape"
+                else Buffer.add_char b (Char.chr code);
+                i := !i + 4
+            | c -> failwith (Printf.sprintf "Trace.of_json: bad escape \\%c" c));
+            i := !i + 2
+          end
+          else begin
+            Buffer.add_char b c;
+            incr i
+          end
+        done;
+        toks := TString (Buffer.contents b) :: !toks
+    | 't' when !i + 4 <= n && String.sub s !i 4 = "true" ->
+        toks := TBool true :: !toks;
+        i := !i + 4
+    | 'f' when !i + 5 <= n && String.sub s !i 5 = "false" ->
+        toks := TBool false :: !toks;
+        i := !i + 5
+    | 'n' when !i + 4 <= n && String.sub s !i 4 = "null" ->
+        toks := TNull :: !toks;
+        i := !i + 4
+    | '-' | '0' .. '9' ->
+        let j = ref !i in
+        while
+          !j < n
+          &&
+          match s.[!j] with
+          | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+          | _ -> false
+        do
+          incr j
+        done;
+        toks := TNumber (String.sub s !i (!j - !i)) :: !toks;
+        i := !j
+    | c -> failwith (Printf.sprintf "Trace.of_json: unexpected character %c" c));
+  done;
+  List.rev !toks
+
+let of_json line =
+  let toks = tokenize line in
+  let expect t = function
+    | t' :: rest when t = t' -> rest
+    | _ -> failwith "Trace.of_json: malformed record"
+  in
+  let key = function
+    | TString k :: TColon :: rest -> (k, rest)
+    | _ -> failwith "Trace.of_json: expected key"
+  in
+  let num s = try float_of_string s with _ -> failwith "Trace.of_json: bad number" in
+  let rec fields acc = function
+    | TRbrace :: rest -> (List.rev acc, rest)
+    | TComma :: rest -> fields acc rest
+    | toks ->
+        let k, rest = key toks in
+        let v, rest =
+          match rest with
+          | TString s :: rest -> (Str s, rest)
+          | TBool b :: rest -> (Bool b, rest)
+          | TNull :: rest -> (Float Float.nan, rest)
+          | TNumber s :: rest ->
+              if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then (Float (num s), rest)
+              else (Int (int_of_string s), rest)
+          | _ -> failwith "Trace.of_json: bad field value"
+        in
+        fields ((k, v) :: acc) rest
+  in
+  let rec top seq t_sim t_wall level name flds = function
+    | [] -> (seq, t_sim, t_wall, level, name, flds)
+    | TRbrace :: rest -> top seq t_sim t_wall level name flds rest
+    | TComma :: rest -> top seq t_sim t_wall level name flds rest
+    | toks -> (
+        let k, rest = key toks in
+        match k with
+        | "seq" -> (
+            match rest with
+            | TNumber s :: rest -> top (int_of_string s) t_sim t_wall level name flds rest
+            | _ -> failwith "Trace.of_json: bad seq")
+        | "t_sim" -> (
+            match rest with
+            | TNumber s :: rest -> top seq (num s) t_wall level name flds rest
+            | TNull :: rest -> top seq Float.nan t_wall level name flds rest
+            | _ -> failwith "Trace.of_json: bad t_sim")
+        | "t_wall" -> (
+            match rest with
+            | TNumber s :: rest -> top seq t_sim (num s) level name flds rest
+            | TNull :: rest -> top seq t_sim Float.nan level name flds rest
+            | _ -> failwith "Trace.of_json: bad t_wall")
+        | "level" -> (
+            match rest with
+            | TString s :: rest -> top seq t_sim t_wall (level_of_string s) name flds rest
+            | _ -> failwith "Trace.of_json: bad level")
+        | "event" -> (
+            match rest with
+            | TString s :: rest -> top seq t_sim t_wall level s flds rest
+            | _ -> failwith "Trace.of_json: bad event")
+        | "fields" ->
+            let rest = expect TLbrace rest in
+            let fs, rest = fields [] rest in
+            top seq t_sim t_wall level name fs rest
+        | k -> failwith ("Trace.of_json: unknown key " ^ k))
+  in
+  let toks = expect TLbrace toks in
+  let seq, t_sim, t_wall, level, name, flds = top 0 0.0 0.0 Info "" [] toks in
+  { seq; t_sim; t_wall; level; name; fields = flds }
+
+(* --- emission --- *)
+
+let open_jsonl path =
+  (match !sink with Some oc -> close_out oc | None -> ());
+  sink := Some (open_out path)
+
+let close_jsonl () =
+  match !sink with
+  | Some oc ->
+      close_out oc;
+      sink := None
+  | None -> ()
+
+let emit ?(level = Info) name fields =
+  incr seq_counter;
+  let r =
+    {
+      seq = !seq_counter;
+      t_sim = !sim_clock;
+      t_wall = Control.now_wall ();
+      level;
+      name;
+      fields;
+    }
+  in
+  let cap = Array.length !ring in
+  !ring.(!head) <- Some r;
+  head := (!head + 1) mod cap;
+  if !stored < cap then incr stored;
+  match !sink with
+  | Some oc ->
+      output_string oc (to_json r);
+      output_char oc '\n'
+  | None -> ()
+
+let field r k = List.assoc_opt k r.fields

@@ -44,8 +44,10 @@ module Acc : sig
 end
 
 (** Reservoir sampler keeping at most [capacity] uniformly-chosen samples
-    out of an unbounded stream; used for latency distributions in long
-    simulations. *)
+    out of an unbounded stream.  Kept as a general-purpose utility
+    (exercised by the property tests); production latency distributions
+    are tracked with [Obs.Histogram] instead, which is mergeable and
+    needs no RNG. *)
 module Reservoir : sig
   type t
 

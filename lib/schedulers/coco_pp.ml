@@ -34,6 +34,9 @@ let pending_of_active (job : Modes.mjob) rts =
   }
 
 let create cluster =
+  let c_rounds = Obs.Registry.counter "sched.coco-timeout.rounds" in
+  let c_retry = Obs.Registry.counter "sched.coco-timeout.retry_tgs" in
+  let g_depth = Obs.Registry.gauge "sched.coco-timeout.queue_depth" in
   let modes = Modes.create Modes.Timeout in
   let view = Sim.Cluster.view cluster in
   (* CoCo++ has no locality bookkeeping: the census stays empty. *)
@@ -55,6 +58,10 @@ let create cluster =
               Some (pending_of_active job rts))
         (Modes.jobs modes)
     in
+    if Obs.enabled () then begin
+      Obs.Registry.incr c_rounds;
+      Obs.Registry.set g_depth (float_of_int (List.length pjobs))
+    end;
     if pjobs = [] then begin
       Modes.cleanup modes;
       {
@@ -91,6 +98,14 @@ let create cluster =
             | Some _ -> None)
           outcome.placements
       in
+      if Obs.enabled () then begin
+        let retry =
+          Hashtbl.fold
+            (fun _ (_, (rt : Modes.tg_rt)) acc -> if rt.remaining > 0 then acc + 1 else acc)
+            rt_of_tg 0
+        in
+        Obs.Registry.incr ~by:retry c_retry
+      end;
       Modes.cleanup modes;
       {
         Sim.Scheduler_intf.placements;

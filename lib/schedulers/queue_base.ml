@@ -4,6 +4,11 @@ type pick = time:float -> Modes.mjob -> Modes.tg_rt -> int option
 
 let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun x -> x)
     ~pick cluster modes =
+  (* Instruments are resolved once; updates stay behind [Obs.enabled]. *)
+  let c_attempts = Obs.Registry.counter ("sched." ^ name ^ ".alloc_attempts") in
+  let c_allocs = Obs.Registry.counter ("sched." ^ name ^ ".allocs") in
+  let c_retries = Obs.Registry.counter ("sched." ^ name ^ ".pick_retries") in
+  let g_depth = Obs.Registry.gauge ("sched." ^ name ^ ".queue_depth") in
   let submit ~time poly = Modes.submit modes ~time poly in
   let charge rt machine =
     match (rt : Modes.tg_rt).tg.Poly_req.kind with
@@ -19,6 +24,7 @@ let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun
     let attempts = ref 0 in
     let allocs = ref 0 in
     let jobs = order_jobs (Modes.jobs modes) in
+    if Obs.enabled () then Obs.Registry.set g_depth (float_of_int (List.length jobs));
     List.iter
       (fun job ->
         List.iter
@@ -27,7 +33,9 @@ let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun
             while (not !stop) && rt.remaining > 0 && !allocs < max_allocs_per_round do
               incr attempts;
               match pick ~time job rt with
-              | None -> stop := true
+              | None ->
+                  if Obs.enabled () then Obs.Registry.incr c_retries;
+                  stop := true
               | Some machine ->
                   let charged = charge rt machine in
                   let dropped = Modes.note_placement modes ~time job rt ~machine in
@@ -40,6 +48,10 @@ let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun
           (Modes.active_tgs modes job))
       jobs;
     Modes.cleanup modes;
+    if Obs.enabled () then begin
+      Obs.Registry.incr ~by:!attempts c_attempts;
+      Obs.Registry.incr ~by:!allocs c_allocs
+    end;
     {
       Sim.Scheduler_intf.placements = List.rev !placements;
       cancelled = !cancelled;

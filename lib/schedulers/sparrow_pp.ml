@@ -10,6 +10,11 @@ type stub = { s_job : Modes.mjob; s_rt : Modes.tg_rt }
 type sample_state = { mutable outstanding : int; mutable last_sample : float }
 
 let create ~mode ~seed cluster =
+  let name = "sparrow-" ^ Modes.mode_to_string mode in
+  let c_attempts = Obs.Registry.counter ("sched." ^ name ^ ".alloc_attempts") in
+  let c_samples = Obs.Registry.counter ("sched." ^ name ^ ".samples") in
+  let c_blocked = Obs.Registry.counter ("sched." ^ name ^ ".head_blocked") in
+  let g_depth = Obs.Registry.gauge ("sched." ^ name ^ ".queue_depth") in
   let modes = Modes.create mode in
   let rng = Rng.create seed in
   let queues : (int, stub Queue.t) Hashtbl.t = Hashtbl.create 256 in
@@ -56,6 +61,7 @@ let create ~mode ~seed cluster =
           (fun i m ->
             if i < need then begin
               Queue.push { s_job = job; s_rt = rt } (queue_of m);
+              if Obs.enabled () then Obs.Registry.incr c_samples;
               st.outstanding <- st.outstanding + 1
             end)
           by_queue_len;
@@ -122,11 +128,19 @@ let create ~mode ~seed cluster =
                 { Sim.Scheduler_intf.tg = rt.tg; machine; shared = false; charged }
                 :: !placements
             end
-            else continue_ := false (* head-of-line blocks this machine *)
+            else begin
+              if Obs.enabled () then Obs.Registry.incr c_blocked;
+              continue_ := false (* head-of-line blocks this machine *)
+            end
           end
         done)
       queues;
     Modes.cleanup modes;
+    if Obs.enabled () then begin
+      Obs.Registry.incr ~by:!attempts c_attempts;
+      let depth = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) queues 0 in
+      Obs.Registry.set g_depth (float_of_int depth)
+    end;
     {
       Sim.Scheduler_intf.placements = List.rev !placements;
       cancelled = !cancelled;
@@ -135,7 +149,7 @@ let create ~mode ~seed cluster =
     }
   in
   {
-    Sim.Scheduler_intf.name = "sparrow-" ^ Modes.mode_to_string mode;
+    Sim.Scheduler_intf.name;
     submit;
     round;
     pending = (fun () -> Modes.pending modes);

@@ -24,7 +24,7 @@ let header =
       "rounds";
     ]
 
-let percentile_or_zero p xs = if xs = [] then 0.0 else Prelude.Stats.percentile p xs
+let quantile_or_zero q h = if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.quantile h q
 
 let row ~scheduler ~mu ~setup ~seed (r : Metrics.report) =
   Printf.sprintf "%s,%.3f,%s,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%.4f,%.4f,%.5f,%.5f,%.5f,%.4f,%.4f,%.4f,%d"
@@ -34,9 +34,9 @@ let row ~scheduler ~mu ~setup ~seed (r : Metrics.report) =
     (Metrics.inc_satisfaction_ratio r)
     r.inc_tgs_total r.inc_tgs_unserved r.tgs_total r.tgs_satisfied r.detour_mean r.span_mean
     r.switch_load.(0) r.switch_load.(1) r.switch_load.(2)
-    (percentile_or_zero 50.0 r.placement_latencies)
-    (percentile_or_zero 99.0 r.placement_latencies)
-    (1000.0 *. percentile_or_zero 50.0 r.solver_samples)
+    (quantile_or_zero 0.5 r.placement_latency)
+    (quantile_or_zero 0.99 r.placement_latency)
+    (1000.0 *. quantile_or_zero 0.5 r.solver_wall)
     r.rounds
 
 let write_file path rows =

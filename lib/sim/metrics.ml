@@ -24,8 +24,8 @@ type t = {
   topo : Fat_tree.t;
   tgs : (int, tg_info) Hashtbl.t;
   jobs : (int, job_info) Hashtbl.t;
-  mutable latencies : float list;
-  mutable solver_samples : float list;
+  latency_h : Obs.Histogram.t;
+  solver_h : Obs.Histogram.t;
   mutable sw_used : Vec.t;
   mutable sw_integral : Vec.t;
   mutable last_time : float;
@@ -40,8 +40,8 @@ let create topo =
     topo;
     tgs = Hashtbl.create 1024;
     jobs = Hashtbl.create 256;
-    latencies = [];
-    solver_samples = [];
+    latency_h = Obs.Histogram.create ();
+    solver_h = Obs.Histogram.create ();
     sw_used = Vec.zero dims;
     sw_integral = Vec.zero dims;
     last_time = 0.0;
@@ -91,7 +91,7 @@ let on_place t ~time ~(tg : Poly_req.task_group) ~machine ~charged =
       ti.cancelled <- false;
       if ti.placed >= ti.expected && ti.satisfied_at = None then begin
         ti.satisfied_at <- Some time;
-        t.latencies <- (time -. ti.arrival) :: t.latencies
+        Obs.Histogram.observe t.latency_h (time -. ti.arrival)
       end);
   match Hashtbl.find_opt t.jobs tg.job_id with
   | None -> ()
@@ -112,7 +112,7 @@ let on_cancel t ~time ~(tg : Poly_req.task_group) =
   | None -> ()
   | Some ti -> if ti.satisfied_at = None then ti.cancelled <- true
 
-let on_solver_sample t ~wall_s = t.solver_samples <- wall_s :: t.solver_samples
+let on_solver_sample t ~wall_s = Obs.Histogram.observe t.solver_h wall_s
 
 let on_round t ~think_s =
   t.rounds <- t.rounds + 1;
@@ -134,8 +134,8 @@ type report = {
   span_mean : float;  (** topology levels covering servers+switches of a job *)
   detour_samples : int;
   switch_load : Vec.t;
-  placement_latencies : float list;
-  solver_samples : float list;
+  placement_latency : Obs.Histogram.t;
+  solver_wall : Obs.Histogram.t;
   rounds : int;
   think_total : float;
 }
@@ -226,8 +226,8 @@ let report t =
     span_mean = (if !detour_n = 0 then 0.0 else !span_sum /. float_of_int !detour_n);
     detour_samples = !detour_n;
     switch_load;
-    placement_latencies = t.latencies;
-    solver_samples = t.solver_samples;
+    placement_latency = t.latency_h;
+    solver_wall = t.solver_h;
     rounds = t.rounds;
     think_total = t.think_total;
   }

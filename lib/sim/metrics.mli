@@ -54,8 +54,10 @@ type report = {
           switches together (fabric footprint; companion to detours) *)
   detour_samples : int;
   switch_load : Prelude.Vec.t;  (** time-weighted used fraction per dimension *)
-  placement_latencies : float list;  (** seconds, satisfied groups only *)
-  solver_samples : float list;  (** seconds *)
+  placement_latency : Obs.Histogram.t;
+      (** seconds from submission to full placement, satisfied groups
+          only; merge across seeds with [Obs.Histogram.merged] *)
+  solver_wall : Obs.Histogram.t;  (** measured MCMF solve seconds *)
   rounds : int;
   think_total : float;
 }

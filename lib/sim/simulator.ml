@@ -50,6 +50,13 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
   in
   let apply_placement ~time (p : Scheduler_intf.placement) =
     (* The scheduler has already charged the ledgers. *)
+    if Obs.enabled () then
+      Obs.Trace.emit "task_place"
+        [
+          ("tg", Obs.Trace.Int p.tg.Poly_req.tg_id);
+          ("job", Obs.Trace.Int p.tg.Poly_req.job_id);
+          ("machine", Obs.Trace.Int p.machine);
+        ];
     Metrics.on_place metrics ~time ~tg:p.tg ~machine:p.machine ~charged:p.charged;
     if not config.gang then schedule_completion ~time p
     else begin
@@ -71,14 +78,40 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
     | Some (time, ev) ->
         now := Float.max !now time;
         incr events;
+        if Obs.enabled () then Obs.Trace.set_sim_time time;
         (match ev with
         | Arrival poly ->
+            if Obs.enabled () then begin
+              Obs.Trace.emit "job_submit"
+                [
+                  ("job", Obs.Trace.Int poly.Poly_req.job_id);
+                  ("task_groups", Obs.Trace.Int (List.length poly.Poly_req.task_groups));
+                ];
+              Obs.Registry.incr (Obs.Registry.counter "sim.arrivals")
+            end;
             Metrics.on_submit metrics ~time poly;
             sched.submit ~time poly;
             arm_round ~time 0.0
         | Round ->
             round_armed := false;
             let res = sched.round ~time in
+            if Obs.enabled () then begin
+              Obs.Registry.incr (Obs.Registry.counter "sim.rounds");
+              Obs.Registry.incr
+                ~by:(List.length res.placements)
+                (Obs.Registry.counter "sim.placements");
+              Obs.Registry.incr
+                ~by:(List.length res.cancelled)
+                (Obs.Registry.counter "sim.cancels");
+              List.iter
+                (fun (tg : Poly_req.task_group) ->
+                  Obs.Trace.emit "tg_cancel"
+                    [
+                      ("tg", Obs.Trace.Int tg.Poly_req.tg_id);
+                      ("job", Obs.Trace.Int tg.Poly_req.job_id);
+                    ])
+                res.cancelled
+            end;
             Metrics.on_round metrics ~think_s:res.think;
             (match res.solver_wall with
             | Some w -> Metrics.on_solver_sample metrics ~wall_s:w
@@ -98,6 +131,14 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
                 Cluster.release_server_task cluster ~server:machine ~demand:tg.Poly_req.demand
             | Poly_req.Network_tg _ ->
                 Cluster.release_network_task cluster ~switch:machine ~tg ~shared);
+            if Obs.enabled () then begin
+              Obs.Trace.emit "task_complete"
+                [
+                  ("tg", Obs.Trace.Int tg.Poly_req.tg_id);
+                  ("machine", Obs.Trace.Int machine);
+                ];
+              Obs.Registry.incr (Obs.Registry.counter "sim.completions")
+            end;
             Metrics.on_task_complete metrics ~time ~tg ~released;
             sched.on_task_complete ~time ~tg ~machine;
             if sched.pending () then arm_round ~time config.min_round_interval);
@@ -105,4 +146,9 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
   in
   loop ();
   Metrics.finalize metrics ~time:(Float.max !now hard_end);
+  if Obs.enabled () then begin
+    Obs.Trace.set_sim_time !now;
+    Obs.Trace.emit "sim_end"
+      [ ("events", Obs.Trace.Int !events); ("end_time", Obs.Trace.Float !now) ]
+  end;
   { report = Metrics.report metrics; end_time = !now; events_processed = !events }

@@ -556,7 +556,7 @@ let test_metrics_lifecycle () =
   Alcotest.(check int) "one inc job" 1 r.Sim.Metrics.inc_jobs_total;
   Alcotest.(check int) "served" 1 r.Sim.Metrics.inc_jobs_served;
   Alcotest.(check int) "no unserved tgs" 0 r.Sim.Metrics.inc_tgs_unserved;
-  Alcotest.(check int) "latency samples" 2 (List.length r.Sim.Metrics.placement_latencies);
+  Alcotest.(check int) "latency samples" 2 (Obs.Histogram.count r.Sim.Metrics.placement_latency);
   Alcotest.(check bool) "switch load accounted" true
     (r.Sim.Metrics.switch_load.(1) > 0.0);
   Alcotest.(check int) "detour sample" 1 r.Sim.Metrics.detour_samples
@@ -606,7 +606,7 @@ let test_simulation_deterministic () =
     let r = Harness.Experiment.run (small_spec "hire") in
     ( r.Sim.Metrics.inc_jobs_served,
       r.Sim.Metrics.tgs_satisfied,
-      List.length r.Sim.Metrics.placement_latencies )
+      Obs.Histogram.count r.Sim.Metrics.placement_latency )
   in
   let a = run () and b = run () in
   Alcotest.(check bool) "reproducible" true (a = b)
