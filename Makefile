@@ -8,13 +8,17 @@ build:
 test:
 	dune runtest
 
-# Tier-1 gate plus a smoke-check that the observability flags are wired
-# into the CLI (docs/OBSERVABILITY.md documents them).
+# Tier-1 gate plus smoke-checks that the observability and fault flags
+# are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md) and
+# that a small deterministic fault-injected run completes.
 check:
 	dune build
 	dune runtest
 	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--trace'
 	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--obs-summary'
+	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--faults'
+	dune exec bin/hire_sim.exe -- --scheduler yarn-concurrent --mu 0.25 -k 4 \
+		--horizon 30 --seeds 1 --faults --mtbf 40 --mttr 5 > /dev/null
 	@echo "check: OK"
 
 # odoc is optional in this environment; the lib/obs dune env marks its

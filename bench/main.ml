@@ -18,7 +18,8 @@
      HIRE_BENCH_SEEDS=n    number of seeds per cell (default 3, as in the paper)
      HIRE_BENCH_HORIZON=s  trace length in seconds (default 400)
      HIRE_BENCH_TRACE=f    enable instrumentation, stream JSONL trace events to f
-     HIRE_BENCH_OBS=1      enable instrumentation, print the registry summary at exit *)
+     HIRE_BENCH_OBS=1      enable instrumentation, print the registry summary at exit
+     HIRE_BENCH_FAULTS=1   also run the fault-injection cell (scheduling under churn) *)
 
 module Metrics = Sim.Metrics
 module Experiment = Harness.Experiment
@@ -292,6 +293,63 @@ let ablations () =
     [ "hire"; "hire-simple"; "hire-noloc"; "hire-noshare"; "hire-scaling" ]
 
 (* ------------------------------------------------------------------ *)
+(* Faults: scheduling throughput under churn (HIRE_BENCH_FAULTS=1)    *)
+(* ------------------------------------------------------------------ *)
+
+let faults_enabled = Sys.getenv_opt "HIRE_BENCH_FAULTS" <> None
+
+(* Aggressive churn relative to the trace: several fail/recover cycles
+   per node per run, so requeue throughput dominates the numbers. *)
+let fault_spec =
+  {
+    Faults.plan =
+      {
+        Faults.Plan.default_config with
+        server_mtbf = 120.0;
+        switch_mtbf = 240.0;
+        server_mttr = 15.0;
+        switch_mttr = 15.0;
+      };
+    policy = Faults.Policy.default;
+  }
+
+let fault_bench () =
+  header "[faults] scheduling under churn (HIRE_BENCH_FAULTS)"
+    "Seeded MTBF/MTTR fault plan at mu=0.5, homogeneous switches; killed task\n\
+     groups are requeued with exponential backoff (docs/FAULTS.md).";
+  Printf.printf "%-20s %8s %8s %8s %8s %8s %8s %12s %12s\n" "scheduler" "inc-sat" "tgs-sat"
+    "fails" "killed" "requeue" "cancel" "resched-p50" "downtime-p50";
+  List.iter
+    (fun scheduler ->
+      let reports =
+        List.map
+          (fun seed ->
+            Experiment.run
+              {
+                (spec ~scheduler ~mu:0.5 ~setup:Sim.Cluster.Homogeneous ~seed) with
+                faults = Some fault_spec;
+              })
+          seeds
+      in
+      let mean f = Experiment.mean_over f reports in
+      let p50 h = if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.quantile h 0.5 in
+      let resched =
+        Obs.Histogram.merged (List.map (fun (r : Metrics.report) -> r.time_to_reschedule) reports)
+      in
+      let downtime =
+        Obs.Histogram.merged (List.map (fun (r : Metrics.report) -> r.node_downtime) reports)
+      in
+      Printf.printf "%-20s %8.3f %8.1f %8.1f %8.1f %8.1f %8.1f %12.3f %12.3f\n" scheduler
+        (mean Metrics.inc_satisfaction_ratio)
+        (mean (fun r -> float_of_int r.Metrics.tgs_satisfied))
+        (mean (fun r -> float_of_int r.Metrics.node_fails))
+        (mean (fun r -> float_of_int r.Metrics.tasks_killed))
+        (mean (fun r -> float_of_int r.Metrics.requeues))
+        (mean (fun r -> float_of_int r.Metrics.fault_cancels))
+        (p50 resched) (p50 downtime))
+    schedulers
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrates                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -422,6 +480,7 @@ let () =
      a dedicated mu=0 run. *)
   fig7 ();
   ablations ();
+  if faults_enabled then fault_bench ();
   bechamel_benches ();
   Sim.Csv_export.write_file "bench_results.csv" (List.rev !csv_rows);
   Printf.printf "\nper-cell rows written to bench_results.csv\n";

@@ -3,7 +3,8 @@
    the artifact's runner tool.  Prints the metric summary the figures are
    built from; see bench/main.ml for the full sweep. *)
 
-let run scheduler mu k horizon seeds setup util fraction verbose csv trace obs_summary =
+let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max_retries
+    verbose csv trace obs_summary =
   if trace <> None || obs_summary then Obs.set_enabled true;
   (match trace with
   | Some path -> (
@@ -22,6 +23,22 @@ let run scheduler mu k horizon seeds setup util fraction verbose csv trace obs_s
     failwith
       (Printf.sprintf "unknown scheduler %S (known: %s)" scheduler
          (String.concat ", " Schedulers.Registry.names));
+  let faults =
+    if not faults_on then None
+    else
+      Some
+        {
+          Faults.plan =
+            {
+              Faults.Plan.default_config with
+              server_mtbf = mtbf;
+              switch_mtbf = mtbf;
+              server_mttr = mttr;
+              switch_mttr = mttr;
+            };
+          policy = Faults.Policy.create ~max_retries ();
+        }
+  in
   let spec =
     {
       Harness.Experiment.scheduler;
@@ -32,6 +49,7 @@ let run scheduler mu k horizon seeds setup util fraction verbose csv trace obs_s
       seed = 1;
       target_utilization = util;
       inc_capable_fraction = fraction;
+      faults;
     }
   in
   Printf.printf "scheduler=%s mu=%.2f k=%d horizon=%.0fs setup=%s util=%.2f seeds=[%s]\n%!"
@@ -39,6 +57,8 @@ let run scheduler mu k horizon seeds setup util fraction verbose csv trace obs_s
     (Sim.Cluster.inc_setup_to_string setup)
     util
     (String.concat ";" (List.map string_of_int seeds));
+  if faults_on then
+    Printf.printf "faults: mtbf=%.0fs mttr=%.0fs max-retries=%d\n%!" mtbf mttr max_retries;
   let reports = Harness.Experiment.run_seeds spec seeds in
   List.iteri
     (fun i r ->
@@ -65,10 +85,10 @@ let run scheduler mu k horizon seeds setup util fraction verbose csv trace obs_s
       let rows =
         List.map2
           (fun seed r ->
-            Sim.Csv_export.row ~scheduler ~mu ~setup ~seed r)
+            Sim.Csv_export.row ~faults:faults_on ~scheduler ~mu ~setup ~seed r)
           seeds reports
       in
-      Sim.Csv_export.write_file path rows;
+      Sim.Csv_export.write_file ~faults:faults_on path rows;
       Printf.printf "per-seed rows written to %s\n" path);
   let mean f = Harness.Experiment.mean_over f reports in
   Printf.printf
@@ -127,6 +147,29 @@ let fraction =
   in
   Arg.(value & opt (some float) None & info [ "inc-capable" ] ~docv:"FRACTION" ~doc)
 
+let faults_flag =
+  let doc =
+    "Enable deterministic fault injection: servers and switches fail and recover \
+     following seeded exponential MTBF/MTTR draws; killed task groups are requeued \
+     with exponential backoff.  Fault model and metrics: docs/FAULTS.md."
+  in
+  Arg.(value & flag & info [ "faults" ] ~doc)
+
+let mtbf =
+  let doc = "Mean time between failures per node, simulated seconds (with $(b,--faults))." in
+  Arg.(value & opt float 200.0 & info [ "mtbf" ] ~docv:"SECONDS" ~doc)
+
+let mttr =
+  let doc = "Mean time to repair per node, simulated seconds (with $(b,--faults))." in
+  Arg.(value & opt float 30.0 & info [ "mttr" ] ~docv:"SECONDS" ~doc)
+
+let max_retries =
+  let doc =
+    "Requeue attempts per task group hit by a failure before it is cancelled (with \
+     $(b,--faults))."
+  in
+  Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc)
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-seed latency and solver stats.")
 
@@ -163,7 +206,7 @@ let cmd =
   Cmd.v
     (Cmd.info "hire_sim" ~version:"1.0" ~doc ~man)
     Term.(
-      const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction $ verbose
-      $ csv $ trace $ obs_summary)
+      const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction
+      $ faults_flag $ mtbf $ mttr $ max_retries $ verbose $ csv $ trace $ obs_summary)
 
 let () = exit (Cmd.eval cmd)

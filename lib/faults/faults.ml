@@ -1,0 +1,16 @@
+(** Deterministic fault injection for the cluster simulator.
+
+    {!Plan} scripts {e which} nodes fail and recover when (seeded
+    exponential MTBF/MTTR, or hand-written for tests); {!Policy} says
+    what happens to the task groups a failure kills (requeue with
+    exponential backoff, cancel on budget exhaustion).  The simulator
+    consumes both; this library holds no mutable state of its own, so a
+    plan can be replayed against any scheduler.  See docs/FAULTS.md. *)
+
+module Plan = Plan
+module Policy = Policy
+
+(** Everything an experiment needs to run with faults enabled. *)
+type spec = { plan : Plan.config; policy : Policy.t }
+
+let default_spec = { plan = Plan.default_config; policy = Policy.default }

@@ -1,0 +1,16 @@
+type t = { max_retries : int; backoff : float; multiplier : float }
+
+let default = { max_retries = 3; backoff = 1.0; multiplier = 2.0 }
+
+let create ?(max_retries = default.max_retries) ?(backoff = default.backoff)
+    ?(multiplier = default.multiplier) () =
+  if max_retries < 0 then invalid_arg "Faults.Policy: max_retries must be non-negative";
+  if backoff <= 0.0 || not (Float.is_finite backoff) then
+    invalid_arg "Faults.Policy: backoff must be positive and finite";
+  if multiplier < 1.0 || not (Float.is_finite multiplier) then
+    invalid_arg "Faults.Policy: multiplier must be >= 1";
+  { max_retries; backoff; multiplier }
+
+let delay t ~attempt =
+  if attempt < 1 then invalid_arg "Faults.Policy.delay: attempt must be >= 1";
+  t.backoff *. (t.multiplier ** float_of_int (attempt - 1))

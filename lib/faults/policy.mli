@@ -1,0 +1,21 @@
+(** Retry/backoff policy for task groups whose tasks were killed by a
+    node failure: requeue with exponential backoff, cancel once the
+    retry budget is exhausted. *)
+
+type t = {
+  max_retries : int;  (** requeue attempts per task group before cancelling *)
+  backoff : float;  (** first retry delay, seconds *)
+  multiplier : float;  (** exponential backoff factor (>= 1) *)
+}
+
+(** 3 retries, 1 s initial backoff, doubling. *)
+val default : t
+
+(** Validating constructor.
+    @raise Invalid_argument on a negative retry budget, non-positive
+    backoff, or multiplier below 1. *)
+val create : ?max_retries:int -> ?backoff:float -> ?multiplier:float -> unit -> t
+
+(** [delay t ~attempt] is the requeue delay of the [attempt]-th retry
+    (1-based): [backoff * multiplier ^ (attempt - 1)]. *)
+val delay : t -> attempt:int -> float

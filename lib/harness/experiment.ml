@@ -9,6 +9,7 @@ type spec = {
   seed : int;
   target_utilization : float;
   inc_capable_fraction : float option;
+  faults : Faults.spec option;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     seed = 1;
     target_utilization = 0.80;
     inc_capable_fraction = Some 0.15;
+    faults = None;
   }
 
 let run spec =
@@ -28,6 +30,10 @@ let run spec =
   let trace_rng = Rng.split rng in
   let scenario_rng = Rng.split rng in
   let cluster_rng = Rng.split rng in
+  (* Always drawn so that the trace/scenario/cluster streams — and hence
+     the fault-free baseline behaviour — are identical whether or not
+     faults are enabled. *)
+  let fault_rng = Rng.split rng in
   let store = Hire.Comp_store.default () in
   let services = Array.to_list (Hire.Comp_store.service_names store) in
   let cluster =
@@ -42,7 +48,23 @@ let run spec =
   let jobs = Workload.Trace_gen.generate trace_config trace_rng ~horizon:spec.horizon in
   let scenario = Sim.Scenario.build store scenario_rng ~mu:spec.mu jobs in
   let sched = Schedulers.Registry.create spec.scheduler ~seed:spec.seed cluster in
-  let result = Sim.Simulator.run cluster sched scenario.Sim.Scenario.arrivals in
+  let faults_plan =
+    Option.map
+      (fun (fs : Faults.spec) ->
+        let topo = Sim.Cluster.topo cluster in
+        let sharing = Sim.Cluster.sharing cluster in
+        Faults.Plan.generate fs.plan fault_rng
+          ~inc_capable:(fun s -> Hire.Sharing.supported_services sharing s <> [])
+          ~servers:(Topology.Fat_tree.servers topo)
+          ~switches:(Topology.Fat_tree.switches topo)
+          ~horizon:spec.horizon)
+      spec.faults
+  in
+  let fault_policy = Option.map (fun (fs : Faults.spec) -> fs.policy) spec.faults in
+  let result =
+    Sim.Simulator.run ?faults:faults_plan ?fault_policy cluster sched
+      scenario.Sim.Scenario.arrivals
+  in
   result.Sim.Simulator.report
 
 let run_seeds spec seeds = List.map (fun seed -> run { spec with seed }) seeds

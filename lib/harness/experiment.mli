@@ -17,6 +17,12 @@ type spec = {
           effective switch capacity, reproducing the paper's contention
           regime (their k=26 testbed has every switch INC-capable).  Use
           [Some 1.0] when running the full k=26 configuration. *)
+  faults : Faults.spec option;
+      (** [Some _] injects a fault plan generated deterministically from
+          the cell's seed (an independent RNG stream: the trace, the
+          scenario, and the cluster are identical with faults on or
+          off).  [None] (the default) reproduces the fault-free
+          simulator byte for byte. *)
 }
 
 val default : spec

@@ -50,7 +50,12 @@ let tor_aggregates (view : View.t) =
   let aggs = Hashtbl.create 64 in
   Array.iter
     (fun tor ->
-      let servers = Fat_tree.servers_under topo tor in
+      (* Dead servers are invisible: they must not shape the aggregate
+         bounds, or the ToR shortcut could admit flow the subtree cannot
+         host. *)
+      let servers =
+        Array.of_list (List.filter view.alive (Array.to_list (Fat_tree.servers_under topo tor)))
+      in
       if Array.length servers > 0 then begin
         let first = view.server_available servers.(0) in
         let min_avail = Vec.copy first and max_avail = Vec.copy first in
@@ -160,7 +165,7 @@ let server_shortcuts (view : View.t) census tor_aggs ~params ~ctx ~phi_prio
             Array.iter
               (fun s ->
                 let available = view.server_available s in
-                if Vec.fits ~demand ~available then begin
+                if view.View.alive s && Vec.fits ~demand ~available then begin
                   let cost =
                     Cost_model.gs_shortcut ~demand ~available
                       ~phi_loc:(phi_loc_at view census ctx s)
@@ -281,13 +286,17 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
   let big = total_supply + List.length selected + 1 in
 
   (* --- machines and the two topology copies --- *)
+  (* Dead servers get no machine node at all: without an Ms→K arc no
+     path can end there, and the ToR topology arcs below skip them. *)
   let ms_tbl = Hashtbl.create 256 in
   Array.iter
     (fun s ->
-      let v = mk (Machine_server s) in
-      Hashtbl.replace ms_tbl s v;
-      let cost = Cost_model.ms_to_k ~util:(View.server_utilization view s) params in
-      ignore (Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost))
+      if view.View.alive s then begin
+        let v = mk (Machine_server s) in
+        Hashtbl.replace ms_tbl s v;
+        let cost = Cost_model.ms_to_k ~util:(View.server_utilization view s) params in
+        ignore (Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost)
+      end)
     (Fat_tree.servers topo);
   let ns_tbl = Hashtbl.create 128 and nn_tbl = Hashtbl.create 128 in
   let mn_tbl = Hashtbl.create 128 in
@@ -298,7 +307,7 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
     (Fat_tree.switches topo);
   Array.iter
     (fun s ->
-      if Sharing.supported_services view.sharing s <> [] then begin
+      if view.View.alive s && Sharing.supported_services view.sharing s <> [] then begin
         let v = mk (Machine_inc s) in
         Hashtbl.replace mn_tbl s v;
         ignore (Graph.add_arc g ~src:(Hashtbl.find nn_tbl s) ~dst:v ~cap:1 ~cost:0);
@@ -320,10 +329,11 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
     (fun s ->
       List.iter
         (fun child ->
-          if Fat_tree.is_server topo child then
-            ignore
-              (Graph.add_arc g ~src:(Hashtbl.find ns_tbl s)
-                 ~dst:(Hashtbl.find ms_tbl child) ~cap:1 ~cost:0)
+          if Fat_tree.is_server topo child then (
+            match Hashtbl.find_opt ms_tbl child with
+            | Some dst ->
+                ignore (Graph.add_arc g ~src:(Hashtbl.find ns_tbl s) ~dst ~cap:1 ~cost:0)
+            | None -> () (* dead server: unreachable by construction *))
           else begin
             ignore
               (Graph.add_arc g ~src:(Hashtbl.find ns_tbl s) ~dst:(Hashtbl.find ns_tbl child)

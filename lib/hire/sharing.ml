@@ -6,6 +6,7 @@ type sw_state = {
   supported : (string, unit) Hashtbl.t;
   counts : (string, int) Hashtbl.t;  (* running instances per service *)
   registered : (string, Vec.t) Hashtbl.t;  (* per-switch part currently charged *)
+  mutable alive : bool;  (* fault injection: dead switches host nothing *)
 }
 
 type t = { cap : Vec.t; states : (int, sw_state) Hashtbl.t; ids : int array }
@@ -23,6 +24,7 @@ let create ~topo ~capacity ~supported =
           supported = sup;
           counts = Hashtbl.create 4;
           registered = Hashtbl.create 4;
+          alive = true;
         })
     ids;
   { cap = Vec.copy capacity; states; ids }
@@ -34,7 +36,17 @@ let state t switch =
 
 let capacity t = Vec.copy t.cap
 let available t switch = Vec.copy (state t switch).avail
-let supports t ~switch ~service = Hashtbl.mem (state t switch).supported service
+
+let is_alive t switch = (state t switch).alive
+let set_alive t switch alive = (state t switch).alive <- alive
+
+(* Liveness masks capability: schedulers route every placement decision
+   through [supports]/[can_place], so a dead switch offers no service.
+   [supported_services] stays the static capability set — counting
+   INC-capable hardware must not fluctuate with the fault plan. *)
+let supports t ~switch ~service =
+  let st = state t switch in
+  st.alive && Hashtbl.mem st.supported service
 
 let supported_services t switch =
   Hashtbl.fold (fun k () acc -> k :: acc) (state t switch).supported [] |> List.sort compare
@@ -71,6 +83,21 @@ let place t ~switch ~service ~per_switch ~per_instance =
   end;
   Hashtbl.replace st.counts service (instances t ~switch ~service + 1)
 
+(* Defensive ledger check: a refund beyond capacity means a double
+   release (or a release with the wrong demand) corrupted the ledger —
+   fail loudly instead of silently inflating the switch.  Tolerates
+   floating-point drift from repeated charge/refund cycles. *)
+let check_over_release st cap ~switch =
+  Array.iteri
+    (fun i x ->
+      let c = cap.(i) in
+      let eps = 1e-6 *. (1.0 +. Float.abs c) in
+      if x > c +. eps then
+        invalid_arg
+          (Printf.sprintf "Sharing.release: over-release on switch %d (dimension %d)" switch i)
+      else if x > c then st.avail.(i) <- c)
+    st.avail
+
 let release t ~switch ~service ~per_instance =
   let st = state t switch in
   let c = instances t ~switch ~service in
@@ -85,7 +112,8 @@ let release t ~switch ~service ~per_instance =
     Hashtbl.remove st.registered service;
     Hashtbl.remove st.counts service
   end
-  else Hashtbl.replace st.counts service (c - 1)
+  else Hashtbl.replace st.counts service (c - 1);
+  check_over_release st t.cap ~switch
 
 let utilization t switch =
   let st = state t switch in

@@ -27,8 +27,20 @@ val capacity : t -> Vec.t
 (** Remaining resources of a switch (a copy). *)
 val available : t -> int -> Vec.t
 
+(** [supports] iff the switch is alive {e and} capable of the service;
+    every placement predicate ({!can_place}, the flow-network arcs, the
+    baselines' feasibility checks) routes through it, so marking a
+    switch dead masks it everywhere. *)
 val supports : t -> switch:int -> service:string -> bool
+
+(** Static capability set — {e not} masked by liveness, so hardware
+    inventories stay stable under fault injection. *)
 val supported_services : t -> int -> string list
+
+(** Fault injection: liveness flag of a switch (default alive). *)
+val is_alive : t -> int -> bool
+
+val set_alive : t -> int -> bool -> unit
 val active_services : t -> int -> string list
 
 (** Number of distinct INC services currently running on the switch. *)
@@ -55,7 +67,8 @@ val place :
   t -> switch:int -> service:string -> per_switch:Vec.t -> per_instance:Vec.t -> unit
 
 (** Release one instance; refunds the registration with the last one.
-    @raise Invalid_argument if no such instance is recorded. *)
+    @raise Invalid_argument if no such instance is recorded, or if the
+    refund would push the ledger above capacity (double release). *)
 val release : t -> switch:int -> service:string -> per_instance:Vec.t -> unit
 
 (** Per-dimension used fraction of a switch. *)

@@ -3,6 +3,7 @@ type t = {
   server_capacity : Prelude.Vec.t;
   server_available : int -> Prelude.Vec.t;
   sharing : Sharing.t;
+  alive : int -> bool;
 }
 
 let server_utilization t id =

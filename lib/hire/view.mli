@@ -9,6 +9,10 @@ type t = {
   server_capacity : Prelude.Vec.t;
   server_available : int -> Prelude.Vec.t;  (** by server node id *)
   sharing : Sharing.t;
+  alive : int -> bool;
+      (** node liveness under fault injection; dead servers must receive
+          no flow-network arcs (switch liveness is already masked inside
+          {!Sharing.supports}) *)
 }
 
 (** Per-dimension used fraction of one server. *)

@@ -121,4 +121,6 @@ let create cluster =
     round;
     pending = (fun () -> Modes.pending modes);
     on_task_complete = (fun ~time:_ ~tg:_ ~machine:_ -> ());
+    (* The flow network is rebuilt from the live view every round. *)
+    on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
   }

@@ -43,4 +43,8 @@ let create ?(simple_flavor = false) ?(params = Hire.Cost_model.default_params)
     on_task_complete =
       (fun ~time:_ ~tg ~machine ->
         Hire_scheduler.on_task_complete sched ~tg_id:tg.Poly_req.tg_id ~machine);
+    (* The flow network is rebuilt from the view each round, and the
+       task census is already cleaned by the killed tasks'
+       [on_task_complete] calls. *)
+    on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
   }

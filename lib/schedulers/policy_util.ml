@@ -8,8 +8,12 @@ let unshared_parts (tg : Poly_req.task_group) =
   | Poly_req.Network_tg n ->
       (n.service, Vec.zero (Vec.dim tg.demand), Vec.add n.per_switch tg.demand)
 
+(* Liveness is part of feasibility: every baseline routes server picks
+   through here, so dead servers are masked for all of them at once
+   (switch liveness is masked inside [Sharing.can_place]). *)
 let server_fits cluster ~server ~demand =
-  Vec.fits ~demand ~available:(Sim.Cluster.server_available cluster server)
+  Sim.Cluster.is_alive cluster server
+  && Vec.fits ~demand ~available:(Sim.Cluster.server_available cluster server)
 
 let switch_feasible cluster ~switch (rt : Modes.tg_rt) =
   match rt.tg.Poly_req.kind with

@@ -10,7 +10,8 @@ module Poly_req = Hire.Poly_req
     group under baseline (unshared) accounting. *)
 val unshared_parts : Poly_req.task_group -> string * Prelude.Vec.t * Prelude.Vec.t
 
-(** [server_fits cluster ~server ~demand]. *)
+(** [server_fits cluster ~server ~demand] — the server is alive and the
+    demand fits its remaining resources. *)
 val server_fits : Sim.Cluster.t -> server:int -> demand:Prelude.Vec.t -> bool
 
 (** [switch_feasible cluster ~switch rt] — supports the service, fits the

@@ -65,4 +65,7 @@ let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun
     round;
     pending = (fun () -> Modes.pending modes);
     on_task_complete = (fun ~time:_ ~tg:_ ~machine:_ -> ());
+    (* Stateless about machines: liveness is re-read from the cluster on
+       every pick. *)
+    on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
   }

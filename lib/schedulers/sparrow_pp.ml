@@ -154,4 +154,20 @@ let create ~mode ~seed cluster =
     round;
     pending = (fun () -> Modes.pending modes);
     on_task_complete = (fun ~time:_ ~tg:_ ~machine:_ -> ());
+    on_node_event =
+      (fun ~time:_ ~node ~up ->
+        (* A dead machine never drains its reservations: flush them so
+           the batch-sampling recheck sees the lost probes (otherwise
+           [outstanding] stays inflated and the group starves even after
+           the rest of the cluster frees up). *)
+        if not up then
+          match Hashtbl.find_opt queues node with
+          | None -> ()
+          | Some q ->
+              Queue.iter
+                (fun stub ->
+                  let st = state_of stub.s_rt.Modes.tg.Poly_req.tg_id in
+                  st.outstanding <- max 0 (st.outstanding - 1))
+                q;
+              Queue.clear q);
   }

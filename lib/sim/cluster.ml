@@ -15,6 +15,7 @@ type t = {
   switch_cap : Vec.t;
   server_avail : (int, Vec.t) Hashtbl.t;
   sharing : Sharing.t;
+  dead : (int, float) Hashtbl.t;  (* node -> failure time *)
 }
 
 let create ?server_capacity ?switch_capacity ?inc_capable_fraction ?topology ~k ~setup ~services rng =
@@ -58,10 +59,34 @@ let create ?server_capacity ?switch_capacity ?inc_capable_fraction ?topology ~k 
     end
   in
   let sharing = Sharing.create ~topo ~capacity:switch_cap ~supported in
-  { topo; server_cap; switch_cap; server_avail; sharing }
+  { topo; server_cap; switch_cap; server_avail; sharing; dead = Hashtbl.create 16 }
 
 let topo t = t.topo
 let sharing t = t.sharing
+
+(* ------------------------------------------------------------------ *)
+(* Liveness (fault injection)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_alive t node = not (Hashtbl.mem t.dead node)
+let n_dead t = Hashtbl.length t.dead
+
+let fail_node t ~time node =
+  if Hashtbl.mem t.dead node then
+    invalid_arg (Printf.sprintf "Cluster.fail_node: node %d is already down" node);
+  (* Ledgers are untouched: the simulator kills and releases the node's
+     running tasks first, so capacity conservation holds through the
+     outage (a recovered node comes back with exactly its capacity). *)
+  if not (Fat_tree.is_server t.topo node) then Sharing.set_alive t.sharing node false;
+  Hashtbl.replace t.dead node time
+
+let recover_node t node =
+  match Hashtbl.find_opt t.dead node with
+  | None -> invalid_arg (Printf.sprintf "Cluster.recover_node: node %d is up" node)
+  | Some failed_at ->
+      Hashtbl.remove t.dead node;
+      if not (Fat_tree.is_server t.topo node) then Sharing.set_alive t.sharing node true;
+      failed_at
 
 let n_inc_capable t =
   Array.fold_left
@@ -84,12 +109,15 @@ let view t =
     server_capacity = t.server_cap;
     server_available = (fun s -> server_available t s);
     sharing = t.sharing;
+    alive = (fun node -> is_alive t node);
   }
 
 let place_server_task t ~server ~demand =
   match Hashtbl.find_opt t.server_avail server with
   | None -> invalid_arg (Printf.sprintf "Cluster.place_server_task: %d is not a server" server)
   | Some avail ->
+      if not (is_alive t server) then
+        invalid_arg (Printf.sprintf "Cluster.place_server_task: server %d is down" server);
       if not (Vec.fits ~demand ~available:avail) then
         invalid_arg
           (Printf.sprintf "Cluster.place_server_task: demand does not fit on server %d" server);
@@ -100,8 +128,24 @@ let release_server_task t ~server ~demand =
   | None -> invalid_arg "Cluster.release_server_task: not a server"
   | Some avail ->
       Vec.add_into avail demand;
-      (* Guard against double-release drift. *)
-      Array.iteri (fun i x -> if x > t.server_cap.(i) then avail.(i) <- t.server_cap.(i)) avail
+      (* Defensive ledger check: a refund beyond capacity means a double
+         release (or a release with the wrong demand).  Fail loudly —
+         the fault-injection requeue path leans on this invariant —
+         while tolerating floating-point drift from charge/refund
+         cycles. *)
+      Array.iteri
+        (fun i x ->
+          let cap = t.server_cap.(i) in
+          let eps = 1e-6 *. (1.0 +. Float.abs cap) in
+          if x > cap +. eps then begin
+            if Obs.enabled () then
+              Obs.Registry.incr (Obs.Registry.counter "cluster.over_release");
+            invalid_arg
+              (Printf.sprintf "Cluster.release_server_task: over-release on server %d (dimension %d)"
+                 server i)
+          end
+          else if x > cap then avail.(i) <- cap)
+        avail
 
 let network_parts tg ~shared =
   match tg.Poly_req.kind with

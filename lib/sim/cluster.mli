@@ -44,16 +44,45 @@ val sharing : t -> Hire.Sharing.t
 val n_servers : t -> int
 val n_switches : t -> int
 
-(** The read view handed to schedulers. *)
+(** The read view handed to schedulers (includes node liveness). *)
 val view : t -> Hire.View.t
+
+(** {2 Liveness (fault injection)}
+
+    Failing a node never touches the ledgers: the simulator kills and
+    releases the node's running tasks before calling {!fail_node}, so
+    total capacity is conserved across fail/recover cycles. *)
+
+(** [is_alive t node] — servers and switches; initially every node is
+    alive. *)
+val is_alive : t -> int -> bool
+
+(** Nodes currently down. *)
+val n_dead : t -> int
+
+(** [fail_node t ~time node] marks a node down ([time] is remembered for
+    downtime accounting) and masks it from {!Hire.Sharing} placement
+    checks when it is a switch.
+    @raise Invalid_argument if the node is already down. *)
+val fail_node : t -> time:float -> int -> unit
+
+(** [recover_node t node] brings a node back and returns the time it
+    failed.
+    @raise Invalid_argument if the node is up. *)
+val recover_node : t -> int -> float
 
 val server_available : t -> int -> Vec.t
 val server_capacity : t -> Vec.t
 
 (** [place_server_task t ~server ~demand] charges a server.
-    @raise Invalid_argument if the demand does not fit. *)
+    @raise Invalid_argument if the demand does not fit or the server is
+    down. *)
 val place_server_task : t -> server:int -> demand:Vec.t -> unit
 
+(** Refund one task's demand.  Releasing on a dead server is legal (the
+    kill path does exactly that).
+    @raise Invalid_argument if the refund would push the ledger above
+    capacity (double release / over-release). *)
 val release_server_task : t -> server:int -> demand:Vec.t -> unit
 
 (** [place_network_task t ~switch ~tg ~shared] charges a switch for one

@@ -24,27 +24,50 @@ let header =
       "rounds";
     ]
 
+let fault_columns =
+  [
+    "node_fails";
+    "node_recoveries";
+    "tasks_killed";
+    "requeues";
+    "fault_cancels";
+    "reschedule_p50_s";
+    "downtime_p50_s";
+  ]
+
+let header_with_faults = header ^ "," ^ String.concat "," fault_columns
+
 let quantile_or_zero q h = if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.quantile h q
 
-let row ~scheduler ~mu ~setup ~seed (r : Metrics.report) =
-  Printf.sprintf "%s,%.3f,%s,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%.4f,%.4f,%.5f,%.5f,%.5f,%.4f,%.4f,%.4f,%d"
-    scheduler mu
-    (Cluster.inc_setup_to_string setup)
-    seed r.jobs_total r.inc_jobs_total r.inc_jobs_served
-    (Metrics.inc_satisfaction_ratio r)
-    r.inc_tgs_total r.inc_tgs_unserved r.tgs_total r.tgs_satisfied r.detour_mean r.span_mean
-    r.switch_load.(0) r.switch_load.(1) r.switch_load.(2)
-    (quantile_or_zero 0.5 r.placement_latency)
-    (quantile_or_zero 0.99 r.placement_latency)
-    (1000.0 *. quantile_or_zero 0.5 r.solver_wall)
-    r.rounds
+let row ?(faults = false) ~scheduler ~mu ~setup ~seed (r : Metrics.report) =
+  let base =
+    Printf.sprintf
+      "%s,%.3f,%s,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%.4f,%.4f,%.5f,%.5f,%.5f,%.4f,%.4f,%.4f,%d"
+      scheduler mu
+      (Cluster.inc_setup_to_string setup)
+      seed r.jobs_total r.inc_jobs_total r.inc_jobs_served
+      (Metrics.inc_satisfaction_ratio r)
+      r.inc_tgs_total r.inc_tgs_unserved r.tgs_total r.tgs_satisfied r.detour_mean r.span_mean
+      r.switch_load.(0) r.switch_load.(1) r.switch_load.(2)
+      (quantile_or_zero 0.5 r.placement_latency)
+      (quantile_or_zero 0.99 r.placement_latency)
+      (1000.0 *. quantile_or_zero 0.5 r.solver_wall)
+      r.rounds
+  in
+  if not faults then base
+  else
+    base
+    ^ Printf.sprintf ",%d,%d,%d,%d,%d,%.4f,%.4f" r.node_fails r.node_recoveries
+        r.tasks_killed r.requeues r.fault_cancels
+        (quantile_or_zero 0.5 r.time_to_reschedule)
+        (quantile_or_zero 0.5 r.node_downtime)
 
-let write_file path rows =
+let write_file ?(faults = false) path rows =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc header;
+      output_string oc (if faults then header_with_faults else header);
       output_char oc '\n';
       List.iter
         (fun r ->

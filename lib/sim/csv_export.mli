@@ -4,9 +4,15 @@
 
 val header : string
 
-(** [row ~scheduler ~mu ~setup ~seed report] renders one CSV line
-    (no trailing newline). *)
+(** {!header} plus the fault-injection columns (node_fails …
+    downtime_p50_s). *)
+val header_with_faults : string
+
+(** [row ~scheduler ~mu ~setup ~seed report] renders one CSV line (no
+    trailing newline).  [faults] appends the fault columns; without it
+    the row matches the pre-fault format byte for byte. *)
 val row :
+  ?faults:bool ->
   scheduler:string ->
   mu:float ->
   setup:Cluster.inc_setup ->
@@ -14,5 +20,6 @@ val row :
   Metrics.report ->
   string
 
-(** [write_file path rows] writes header + rows. *)
-val write_file : string -> string list -> unit
+(** [write_file path rows] writes header + rows ([faults] selects the
+    extended header — pass rows rendered with the same flag). *)
+val write_file : ?faults:bool -> string -> string list -> unit

@@ -11,6 +11,8 @@ type tg_info = {
   mutable placed : int;
   mutable cancelled : bool;
   mutable satisfied_at : float option;
+  mutable requeued_at : float option;
+      (* last fault-driven requeue still awaiting re-placement *)
 }
 
 type job_info = {
@@ -26,12 +28,19 @@ type t = {
   jobs : (int, job_info) Hashtbl.t;
   latency_h : Obs.Histogram.t;
   solver_h : Obs.Histogram.t;
+  reschedule_h : Obs.Histogram.t;
+  downtime_h : Obs.Histogram.t;
   mutable sw_used : Vec.t;
   mutable sw_integral : Vec.t;
   mutable last_time : float;
   mutable finalized_at : float option;
   mutable rounds : int;
   mutable think_total : float;
+  mutable node_fails : int;
+  mutable node_recoveries : int;
+  mutable tasks_killed : int;
+  mutable requeues : int;
+  mutable fault_cancels : int;
 }
 
 let create topo =
@@ -42,12 +51,19 @@ let create topo =
     jobs = Hashtbl.create 256;
     latency_h = Obs.Histogram.create ();
     solver_h = Obs.Histogram.create ();
+    reschedule_h = Obs.Histogram.create ();
+    downtime_h = Obs.Histogram.create ();
     sw_used = Vec.zero dims;
     sw_integral = Vec.zero dims;
     last_time = 0.0;
     finalized_at = None;
     rounds = 0;
     think_total = 0.0;
+    node_fails = 0;
+    node_recoveries = 0;
+    tasks_killed = 0;
+    requeues = 0;
+    fault_cancels = 0;
   }
 
 let advance_load t time =
@@ -71,6 +87,7 @@ let on_submit t ~time (poly : Poly_req.t) =
           placed = 0;
           cancelled = false;
           satisfied_at = None;
+          requeued_at = None;
         })
     poly.task_groups;
   Hashtbl.replace t.jobs poly.job_id
@@ -91,7 +108,14 @@ let on_place t ~time ~(tg : Poly_req.task_group) ~machine ~charged =
       ti.cancelled <- false;
       if ti.placed >= ti.expected && ti.satisfied_at = None then begin
         ti.satisfied_at <- Some time;
-        Obs.Histogram.observe t.latency_h (time -. ti.arrival)
+        (* First-time satisfaction feeds the paper's placement-latency
+           figure; a group re-placed after a fault feeds the
+           time-to-reschedule histogram instead. *)
+        match ti.requeued_at with
+        | Some t0 ->
+            ti.requeued_at <- None;
+            Obs.Histogram.observe t.reschedule_h (time -. t0)
+        | None -> Obs.Histogram.observe t.latency_h (time -. ti.arrival)
       end);
   match Hashtbl.find_opt t.jobs tg.job_id with
   | None -> ()
@@ -111,6 +135,48 @@ let on_cancel t ~time ~(tg : Poly_req.task_group) =
   match Hashtbl.find_opt t.tgs tg.tg_id with
   | None -> ()
   | Some ti -> if ti.satisfied_at = None then ti.cancelled <- true
+
+(* -------------------- fault injection -------------------- *)
+
+let on_task_kill t ~time ~tg:_ ~released =
+  advance_load t time;
+  t.tasks_killed <- t.tasks_killed + 1;
+  match released with
+  | Some v -> t.sw_used <- Vec.clamp_nonneg (Vec.sub t.sw_used v)
+  | None -> ()
+
+let on_requeue t ~time ~(tg : Poly_req.task_group) ~n =
+  advance_load t time;
+  t.requeues <- t.requeues + n;
+  match Hashtbl.find_opt t.tgs tg.tg_id with
+  | None -> ()
+  | Some ti ->
+      ti.placed <- max 0 (ti.placed - n);
+      (* The group is no longer (fully) running; it counts as satisfied
+         again only once the lost tasks are re-placed. *)
+      ti.satisfied_at <- None;
+      ti.cancelled <- false;
+      ti.requeued_at <- Some time
+
+let on_fault_cancel t ~time ~(tg : Poly_req.task_group) ~n =
+  advance_load t time;
+  t.fault_cancels <- t.fault_cancels + n;
+  match Hashtbl.find_opt t.tgs tg.tg_id with
+  | None -> ()
+  | Some ti ->
+      ti.placed <- max 0 (ti.placed - n);
+      ti.satisfied_at <- None;
+      ti.requeued_at <- None;
+      ti.cancelled <- true
+
+let on_node_fail t ~time =
+  advance_load t time;
+  t.node_fails <- t.node_fails + 1
+
+let on_node_recover t ~time ~downtime_s =
+  advance_load t time;
+  t.node_recoveries <- t.node_recoveries + 1;
+  Obs.Histogram.observe t.downtime_h downtime_s
 
 let on_solver_sample t ~wall_s = Obs.Histogram.observe t.solver_h wall_s
 
@@ -138,6 +204,14 @@ type report = {
   solver_wall : Obs.Histogram.t;
   rounds : int;
   think_total : float;
+  node_fails : int;
+  node_recoveries : int;
+  tasks_killed : int;
+  requeues : int;
+  fault_cancels : int;
+  tgs_cancelled : int;
+  time_to_reschedule : Obs.Histogram.t;
+  node_downtime : Obs.Histogram.t;
 }
 
 let report t =
@@ -180,7 +254,7 @@ let report t =
       end)
     t.jobs;
   let inc_tgs_total = ref 0 and inc_tgs_unserved = ref 0 in
-  let tgs_total = ref 0 and tgs_satisfied = ref 0 in
+  let tgs_total = ref 0 and tgs_satisfied = ref 0 and tgs_cancelled = ref 0 in
   (* Composites with several INC alternatives run exactly one of them: a
      network group cancelled in favour of a *sibling* INC group is
      alternative-replaced, not unserved. *)
@@ -194,6 +268,7 @@ let report t =
     (fun _ ti ->
       incr tgs_total;
       if ti.satisfied_at <> None then incr tgs_satisfied;
+      if ti.cancelled then incr tgs_cancelled;
       if ti.is_network then begin
         let sibling_served = Hashtbl.mem comp_inc_served (ti.ti_job, ti.ti_comp) in
         if ti.satisfied_at <> None then incr inc_tgs_total
@@ -230,6 +305,14 @@ let report t =
     solver_wall = t.solver_h;
     rounds = t.rounds;
     think_total = t.think_total;
+    node_fails = t.node_fails;
+    node_recoveries = t.node_recoveries;
+    tasks_killed = t.tasks_killed;
+    requeues = t.requeues;
+    fault_cancels = t.fault_cancels;
+    tgs_cancelled = !tgs_cancelled;
+    time_to_reschedule = t.reschedule_h;
+    node_downtime = t.downtime_h;
   }
 
 let inc_satisfaction_ratio r =
@@ -245,4 +328,8 @@ let pp_report fmt r =
     "jobs=%d inc-jobs=%d/%d (%.1f%%) inc-tgs-unserved=%d/%d detour=%.3f load=%a rounds=%d"
     r.jobs_total r.inc_jobs_served r.inc_jobs_total
     (100.0 *. inc_satisfaction_ratio r)
-    r.inc_tgs_unserved r.inc_tgs_total r.detour_mean Vec.pp r.switch_load r.rounds
+    r.inc_tgs_unserved r.inc_tgs_total r.detour_mean Vec.pp r.switch_load r.rounds;
+  (* Fault-free reports stay byte-identical to the pre-fault format. *)
+  if r.node_fails > 0 then
+    Format.fprintf fmt " faults=%d/%d killed=%d requeued=%d cancelled=%d" r.node_fails
+      r.node_recoveries r.tasks_killed r.requeues r.fault_cancels

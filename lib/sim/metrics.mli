@@ -31,6 +31,25 @@ val on_task_complete :
 (** The group was dropped (flavor decision or fallback). *)
 val on_cancel : t -> time:float -> tg:Hire.Poly_req.task_group -> unit
 
+(** {2 Fault injection} *)
+
+(** One running task killed by a node failure; [released] mirrors the
+    charged switch demand (load accounting, like {!on_task_complete}). *)
+val on_task_kill :
+  t -> time:float -> tg:Hire.Poly_req.task_group -> released:Prelude.Vec.t option -> unit
+
+(** [n] killed tasks of [tg] were re-enqueued: the group drops out of
+    the satisfied state until they are re-placed; re-satisfaction feeds
+    the time-to-reschedule histogram (not placement latency). *)
+val on_requeue : t -> time:float -> tg:Hire.Poly_req.task_group -> n:int -> unit
+
+(** [n] killed tasks of [tg] exhausted the retry budget: the group is
+    cancelled. *)
+val on_fault_cancel : t -> time:float -> tg:Hire.Poly_req.task_group -> n:int -> unit
+
+val on_node_fail : t -> time:float -> unit
+val on_node_recover : t -> time:float -> downtime_s:float -> unit
+
 (** Record a measured MCMF solve (flow-based schedulers only). *)
 val on_solver_sample : t -> wall_s:float -> unit
 
@@ -60,6 +79,16 @@ type report = {
   solver_wall : Obs.Histogram.t;  (** measured MCMF solve seconds *)
   rounds : int;
   think_total : float;
+  node_fails : int;  (** fault events delivered (servers + switches) *)
+  node_recoveries : int;
+  tasks_killed : int;  (** running tasks lost to node failures *)
+  requeues : int;  (** killed tasks re-enqueued through the scheduler *)
+  fault_cancels : int;  (** killed tasks cancelled after max retries *)
+  tgs_cancelled : int;  (** task groups ending cancelled (any cause) *)
+  time_to_reschedule : Obs.Histogram.t;
+      (** seconds from a fault-driven requeue until the group is fully
+          placed again *)
+  node_downtime : Obs.Histogram.t;  (** per-recovery outage seconds *)
 }
 
 val report : t -> report

@@ -28,4 +28,12 @@ type t = {
   round : time:float -> round_result;
   pending : unit -> bool;  (** unfinished placement work remains *)
   on_task_complete : time:float -> tg:Hire.Poly_req.task_group -> machine:int -> unit;
+      (** also invoked for tasks killed by a node failure (the machine
+          is the failed node) so schedulers drop per-task state *)
+  on_node_event : time:float -> node:int -> up:bool -> unit;
+      (** fault injection: [node] failed ([up = false]) or recovered
+          ([up = true]).  Called after the cluster liveness flip and
+          after the killed tasks' [on_task_complete] calls; schedulers
+          with machine-local state (e.g. Sparrow's stub queues) must
+          flush it here. *)
 }

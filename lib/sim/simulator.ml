@@ -13,16 +13,32 @@ let default_config =
 type event =
   | Arrival of Poly_req.t
   | Round
-  | Complete of {
-      tg : Poly_req.task_group;
-      machine : int;
-      shared : bool;
-      released : Prelude.Vec.t option;
-    }
+  | Complete of int  (* running-task token *)
+  | Node_fail of int
+  | Node_recover of int
+  | Retry of Poly_req.t
+
+(* One running task.  Tokens decouple completion events from the task
+   registry: a task killed by a node failure simply disappears from the
+   registry and its already-queued [Complete] becomes a no-op. *)
+type running = {
+  r_tg : Poly_req.task_group;
+  r_machine : int;
+  r_shared : bool;
+  r_charged : Prelude.Vec.t option;
+}
+
+type gang_entry = {
+  target : int;  (* instances the group needs before any task starts *)
+  mutable g_placed : int;
+  mutable held : (int * float) list;  (* token, placement time *)
+}
 
 type result = { report : Metrics.report; end_time : float; events_processed : int }
 
-let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
+let run ?(config = default_config) ?faults ?fault_policy cluster
+    (sched : Scheduler_intf.t) arrivals =
+  let policy = match fault_policy with Some p -> p | None -> Faults.Policy.default in
   let queue = Event_queue.create () in
   let metrics = Metrics.create (Cluster.topo cluster) in
   let last_arrival =
@@ -30,6 +46,15 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
   in
   let hard_end = last_arrival +. config.drain in
   List.iter (fun (t, poly) -> Event_queue.push queue ~time:t (Arrival poly)) arrivals;
+  (match faults with
+  | None -> ()
+  | Some plan ->
+      List.iter
+        (fun (e : Faults.Plan.event) ->
+          match e.kind with
+          | Faults.Plan.Fail -> Event_queue.push queue ~time:e.time (Node_fail e.node)
+          | Faults.Plan.Recover -> Event_queue.push queue ~time:e.time (Node_recover e.node))
+        (Faults.Plan.events plan));
   let round_armed = ref false in
   let arm_round ~time delay =
     if not !round_armed && time +. delay <= hard_end then begin
@@ -39,14 +64,42 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
   in
   let events = ref 0 in
   let now = ref 0.0 in
+  (* ---- running-task registry ---- *)
+  let next_token = ref 0 in
+  let running : (int, running) Hashtbl.t = Hashtbl.create 1024 in
+  let on_machine : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let register token r =
+    Hashtbl.replace running token r;
+    let tbl =
+      match Hashtbl.find_opt on_machine r.r_machine with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 8 in
+          Hashtbl.replace on_machine r.r_machine tbl;
+          tbl
+    in
+    Hashtbl.replace tbl token ()
+  in
+  let unregister token r =
+    Hashtbl.remove running token;
+    match Hashtbl.find_opt on_machine r.r_machine with
+    | Some tbl -> Hashtbl.remove tbl token
+    | None -> ()
+  in
+  (* ---- requeue state ---- *)
+  (* Per task group: how many times a failure already sent it back. *)
+  let attempts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Requeued clones carry a synthetic (negative) poly job id so that
+     scheduler-internal keying never collides with a live original; the
+     embedded task groups keep their real ids for metrics and ledgers. *)
+  let next_requeue_job = ref (-1) in
+  let job_priority : (int, Workload.Job.priority) Hashtbl.t = Hashtbl.create 256 in
   (* Gang semantics (§5.1: no partial scheduling): tasks of a group hold
      their resources from placement, but only start running — and hence
      schedule completions — once the whole group is placed. *)
-  let gang_state : (int, int * Scheduler_intf.placement list) Hashtbl.t = Hashtbl.create 64 in
-  let schedule_completion ~time (p : Scheduler_intf.placement) =
-    Event_queue.push queue
-      ~time:(time +. p.tg.Poly_req.duration)
-      (Complete { tg = p.tg; machine = p.machine; shared = p.shared; released = p.charged })
+  let gang_state : (int, gang_entry) Hashtbl.t = Hashtbl.create 64 in
+  let schedule_completion ~time token (r : running) =
+    Event_queue.push queue ~time:(time +. r.r_tg.Poly_req.duration) (Complete token)
   in
   let apply_placement ~time (p : Scheduler_intf.placement) =
     (* The scheduler has already charged the ledgers. *)
@@ -58,18 +111,131 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
           ("machine", Obs.Trace.Int p.machine);
         ];
     Metrics.on_place metrics ~time ~tg:p.tg ~machine:p.machine ~charged:p.charged;
-    if not config.gang then schedule_completion ~time p
+    let token = !next_token in
+    incr next_token;
+    let r =
+      { r_tg = p.tg; r_machine = p.machine; r_shared = p.shared; r_charged = p.charged }
+    in
+    register token r;
+    if not config.gang then schedule_completion ~time token r
     else begin
       let tg_id = p.tg.Poly_req.tg_id in
-      let placed, held =
-        match Hashtbl.find_opt gang_state tg_id with Some x -> x | None -> (0, [])
+      let ge =
+        match Hashtbl.find_opt gang_state tg_id with
+        | Some ge -> ge
+        | None ->
+            (* The target is fixed at first sight of the group: a requeue
+               clone for the lost instances re-arms it with just those. *)
+            let ge = { target = p.tg.Poly_req.count; g_placed = 0; held = [] } in
+            Hashtbl.replace gang_state tg_id ge;
+            ge
       in
-      let placed = placed + 1 and held = p :: held in
-      if placed >= p.tg.Poly_req.count then begin
+      ge.g_placed <- ge.g_placed + 1;
+      ge.held <- (token, time) :: ge.held;
+      if ge.g_placed >= ge.target then begin
         Hashtbl.remove gang_state tg_id;
-        List.iter (schedule_completion ~time) held
+        List.iter
+          (fun (tok, t0) ->
+            match Hashtbl.find_opt running tok with
+            | Some r -> schedule_completion ~time:t0 tok r
+            | None -> () (* killed while the gang was assembling *))
+          ge.held
       end
-      else Hashtbl.replace gang_state tg_id (placed, held)
+    end
+  in
+  (* ---- fault handling ---- *)
+  let kill_tasks_on ~time machine =
+    (* Tokens sorted for a deterministic kill order regardless of hash
+       internals. *)
+    let tokens =
+      match Hashtbl.find_opt on_machine machine with
+      | None -> []
+      | Some tbl -> List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+    in
+    let killed_per_tg : (int, Poly_req.task_group * int ref) Hashtbl.t = Hashtbl.create 8 in
+    let kill_order = ref [] in
+    List.iter
+      (fun token ->
+        match Hashtbl.find_opt running token with
+        | None -> ()
+        | Some r ->
+            unregister token r;
+            (match r.r_tg.Poly_req.kind with
+            | Poly_req.Server_tg ->
+                Cluster.release_server_task cluster ~server:machine
+                  ~demand:r.r_tg.Poly_req.demand
+            | Poly_req.Network_tg _ ->
+                Cluster.release_network_task cluster ~switch:machine ~tg:r.r_tg
+                  ~shared:r.r_shared);
+            (if config.gang then
+               match Hashtbl.find_opt gang_state r.r_tg.Poly_req.tg_id with
+               | Some ge ->
+                   ge.g_placed <- ge.g_placed - 1;
+                   ge.held <- List.filter (fun (tok, _) -> tok <> token) ge.held
+               | None -> ());
+            if Obs.enabled () then begin
+              Obs.Trace.emit "task_kill"
+                [
+                  ("tg", Obs.Trace.Int r.r_tg.Poly_req.tg_id);
+                  ("machine", Obs.Trace.Int machine);
+                ];
+              Obs.Registry.incr (Obs.Registry.counter "sim.task_kills")
+            end;
+            Metrics.on_task_kill metrics ~time ~tg:r.r_tg ~released:r.r_charged;
+            sched.on_task_complete ~time ~tg:r.r_tg ~machine;
+            (match Hashtbl.find_opt killed_per_tg r.r_tg.Poly_req.tg_id with
+            | Some (_, n) -> incr n
+            | None ->
+                kill_order := r.r_tg.Poly_req.tg_id :: !kill_order;
+                Hashtbl.replace killed_per_tg r.r_tg.Poly_req.tg_id (r.r_tg, ref 1)))
+      tokens;
+    List.rev_map (fun tg_id -> Hashtbl.find killed_per_tg tg_id) !kill_order
+  in
+  let requeue_or_cancel ~time ((tg : Poly_req.task_group), n) =
+    let n = !n in
+    let attempt = 1 + (match Hashtbl.find_opt attempts tg.tg_id with Some a -> a | None -> 0) in
+    Hashtbl.replace attempts tg.tg_id attempt;
+    let retry_time = time +. Faults.Policy.delay policy ~attempt in
+    if attempt > policy.Faults.Policy.max_retries || retry_time > hard_end then begin
+      if Obs.enabled () then begin
+        Obs.Registry.incr ~by:n (Obs.Registry.counter "sim.fault_cancels");
+        Obs.Trace.emit "tg_fault_cancel"
+          [ ("tg", Obs.Trace.Int tg.tg_id); ("lost", Obs.Trace.Int n) ]
+      end;
+      Metrics.on_fault_cancel metrics ~time ~tg ~n
+    end
+    else begin
+      if Obs.enabled () then begin
+        Obs.Registry.incr ~by:n (Obs.Registry.counter "sim.requeues");
+        Obs.Trace.emit "tg_requeue"
+          [
+            ("tg", Obs.Trace.Int tg.tg_id);
+            ("lost", Obs.Trace.Int n);
+            ("attempt", Obs.Trace.Int attempt);
+          ]
+      end;
+      Metrics.on_requeue metrics ~time ~tg ~n;
+      (* Re-submit only the lost instances, flavor already materialized
+         (the original decision stands; re-placement must not reopen
+         it). *)
+      let clone = { tg with Poly_req.count = n; flavor = Hire.Flavor.all_x 0 } in
+      let priority =
+        match Hashtbl.find_opt job_priority tg.Poly_req.job_id with
+        | Some p -> p
+        | None -> Workload.Job.Batch
+      in
+      let job_id = !next_requeue_job in
+      decr next_requeue_job;
+      let poly =
+        {
+          Poly_req.job_id;
+          priority;
+          arrival = retry_time;
+          flavor_len = 0;
+          task_groups = [ clone ];
+        }
+      in
+      Event_queue.push queue ~time:retry_time (Retry poly)
     end
   in
   let rec loop () =
@@ -89,7 +255,16 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
                 ];
               Obs.Registry.incr (Obs.Registry.counter "sim.arrivals")
             end;
+            Hashtbl.replace job_priority poly.Poly_req.job_id poly.Poly_req.priority;
             Metrics.on_submit metrics ~time poly;
+            sched.submit ~time poly;
+            arm_round ~time 0.0
+        | Retry poly ->
+            (* Metrics saw the requeue at kill time; this is the delayed
+               re-submission of the lost instances. *)
+            if Obs.enabled () then
+              Obs.Trace.emit "tg_resubmit"
+                [ ("job", Obs.Trace.Int poly.Poly_req.job_id) ];
             sched.submit ~time poly;
             arm_round ~time 0.0
         | Round ->
@@ -125,23 +300,62 @@ let run ?(config = default_config) cluster (sched : Scheduler_intf.t) arrivals =
               in
               arm_round ~time delay
             end
-        | Complete { tg; machine; shared; released } ->
-            (match tg.Poly_req.kind with
-            | Poly_req.Server_tg ->
-                Cluster.release_server_task cluster ~server:machine ~demand:tg.Poly_req.demand
-            | Poly_req.Network_tg _ ->
-                Cluster.release_network_task cluster ~switch:machine ~tg ~shared);
-            if Obs.enabled () then begin
-              Obs.Trace.emit "task_complete"
-                [
-                  ("tg", Obs.Trace.Int tg.Poly_req.tg_id);
-                  ("machine", Obs.Trace.Int machine);
-                ];
-              Obs.Registry.incr (Obs.Registry.counter "sim.completions")
-            end;
-            Metrics.on_task_complete metrics ~time ~tg ~released;
-            sched.on_task_complete ~time ~tg ~machine;
-            if sched.pending () then arm_round ~time config.min_round_interval);
+        | Complete token -> (
+            match Hashtbl.find_opt running token with
+            | None -> () (* killed by a node failure; already released *)
+            | Some r ->
+                unregister token r;
+                let tg = r.r_tg and machine = r.r_machine in
+                (match tg.Poly_req.kind with
+                | Poly_req.Server_tg ->
+                    Cluster.release_server_task cluster ~server:machine
+                      ~demand:tg.Poly_req.demand
+                | Poly_req.Network_tg _ ->
+                    Cluster.release_network_task cluster ~switch:machine ~tg
+                      ~shared:r.r_shared);
+                if Obs.enabled () then begin
+                  Obs.Trace.emit "task_complete"
+                    [
+                      ("tg", Obs.Trace.Int tg.Poly_req.tg_id);
+                      ("machine", Obs.Trace.Int machine);
+                    ];
+                  Obs.Registry.incr (Obs.Registry.counter "sim.completions")
+                end;
+                Metrics.on_task_complete metrics ~time ~tg ~released:r.r_charged;
+                sched.on_task_complete ~time ~tg ~machine;
+                if sched.pending () then arm_round ~time config.min_round_interval)
+        | Node_fail node ->
+            if Cluster.is_alive cluster node then begin
+              let killed = kill_tasks_on ~time node in
+              Cluster.fail_node cluster ~time node;
+              Metrics.on_node_fail metrics ~time;
+              sched.on_node_event ~time ~node ~up:false;
+              if Obs.enabled () then begin
+                Obs.Registry.incr (Obs.Registry.counter "sim.node_fails");
+                Obs.Trace.emit "node_fail"
+                  [
+                    ("node", Obs.Trace.Int node);
+                    ("killed", Obs.Trace.Int (List.length killed));
+                  ]
+              end;
+              List.iter (requeue_or_cancel ~time) killed
+            end
+        | Node_recover node ->
+            if not (Cluster.is_alive cluster node) then begin
+              let failed_at = Cluster.recover_node cluster node in
+              Metrics.on_node_recover metrics ~time ~downtime_s:(time -. failed_at);
+              sched.on_node_event ~time ~node ~up:true;
+              if Obs.enabled () then begin
+                Obs.Registry.incr (Obs.Registry.counter "sim.node_recoveries");
+                Obs.Trace.emit "node_recover"
+                  [
+                    ("node", Obs.Trace.Int node);
+                    ("downtime_s", Obs.Trace.Float (time -. failed_at));
+                  ]
+              end;
+              (* Fresh capacity may unblock pending work. *)
+              if sched.pending () then arm_round ~time config.min_round_interval
+            end);
         loop ()
   in
   loop ();

@@ -1,13 +1,22 @@
 (** Discrete-event cluster-scheduling simulator (in the spirit of the
     paper's Omega-style simulator, §6.2).
 
-    Events: job arrivals, scheduling rounds, task completions.  Rounds
-    are triggered by state changes (arrivals, completions) and re-armed
+    Events: job arrivals, scheduling rounds, task completions — and,
+    with a {!Faults.Plan.t}, node failures/recoveries.  Rounds are
+    triggered by state changes (arrivals, completions) and re-armed
     after the scheduler's simulated think time while it keeps making
     progress; an idle scheduler with unplaceable work backs off instead
     of busy-looping.  Schedulers charge the cluster ledgers while
     deciding; the simulator schedules the matching task completions,
-    releases resources when tasks finish, and feeds the metrics. *)
+    releases resources when tasks finish, and feeds the metrics.
+
+    Fault semantics (docs/FAULTS.md): a [Node_fail] kills every task
+    running on the node, refunds their ledger charges, flips the
+    cluster's liveness mask, and notifies the scheduler; the lost
+    instances of each affected task group are re-submitted as a
+    materialized single-group request after an exponential backoff, up
+    to the policy's retry budget, then cancelled.  A [Node_recover]
+    restores the liveness mask and re-arms a round. *)
 
 type config = {
   drain : float;
@@ -31,9 +40,16 @@ type result = {
 }
 
 (** [run ~config cluster scheduler arrivals] replays the arrival stream
-    to completion and returns the metric report. *)
+    to completion and returns the metric report.
+
+    [faults] injects a deterministic fail/recover script;
+    [fault_policy] (default {!Faults.Policy.default}) governs the
+    requeue/backoff of killed task groups.  Without [faults] the run is
+    byte-identical to a fault-free simulator. *)
 val run :
   ?config:config ->
+  ?faults:Faults.Plan.t ->
+  ?fault_policy:Faults.Policy.t ->
   Cluster.t ->
   Scheduler_intf.t ->
   (float * Hire.Poly_req.t) list ->
