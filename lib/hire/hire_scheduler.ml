@@ -268,4 +268,14 @@ let run_round t ~time =
 let on_task_complete t ~tg_id ~machine =
   Locality.Task_census.remove t.census ~tg_id ~machine
 
+let drop_task_group t ~tg_id =
+  (* Requeue clones share the original's tg_id under a different job id,
+     so every tracked job is scanned. *)
+  Hashtbl.iter
+    (fun _ job ->
+      match Pending.find_tg job tg_id with
+      | Some ts -> ts.Pending.remaining <- 0
+      | None -> ())
+    t.jobs
+
 let census t = t.census

@@ -51,5 +51,10 @@ val run_round : t -> time:float -> round_outcome
     locality census). *)
 val on_task_complete : t -> tg_id:int -> machine:int -> unit
 
+(** Fault path: the simulator cancelled [tg_id] after exhausting its
+    retry budget — zero its remaining count everywhere so no further
+    placements are attempted. *)
+val drop_task_group : t -> tg_id:int -> unit
+
 (** The census (exposed for tests). *)
 val census : t -> Locality.Task_census.t

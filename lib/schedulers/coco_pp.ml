@@ -123,4 +123,5 @@ let create cluster =
     on_task_complete = (fun ~time:_ ~tg:_ ~machine:_ -> ());
     (* The flow network is rebuilt from the live view every round. *)
     on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
+    drop_task_group = (fun ~time:_ ~tg_id -> Modes.drop_tg modes ~tg_id);
   }

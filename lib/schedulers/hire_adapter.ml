@@ -47,4 +47,6 @@ let create ?(simple_flavor = false) ?(params = Hire.Cost_model.default_params)
        task census is already cleaned by the killed tasks'
        [on_task_complete] calls. *)
     on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
+    drop_task_group =
+      (fun ~time:_ ~tg_id -> Hire_scheduler.drop_task_group sched ~tg_id);
   }

@@ -175,6 +175,15 @@ let note_placement t ~time job (rt : tg_rt) ~machine =
   end
   else []
 
+let drop_tg t ~tg_id =
+  Hashtbl.iter
+    (fun _ job ->
+      List.iter
+        (fun (rt : tg_rt) ->
+          if rt.tg.Poly_req.tg_id = tg_id then rt.remaining <- 0)
+        (job.common @ job.server_only @ job.inc_only))
+    t.jobs_tbl
+
 let pending t =
   Hashtbl.fold
     (fun _ job acc ->

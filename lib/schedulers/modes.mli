@@ -61,6 +61,11 @@ val tick : t -> time:float -> Hire.Poly_req.task_group list
 val note_placement :
   t -> time:float -> mjob -> tg_rt -> machine:int -> Hire.Poly_req.task_group list
 
+(** Fault path: zero the remaining count of every runtime entry for
+    [tg_id] (the simulator cancelled the group after exhausting its
+    retry budget) so no further placements are attempted. *)
+val drop_tg : t -> tg_id:int -> unit
+
 val pending : t -> bool
 
 (** Drop fully-served jobs from the queue. *)

@@ -68,4 +68,5 @@ let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun
     (* Stateless about machines: liveness is re-read from the cluster on
        every pick. *)
     on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
+    drop_task_group = (fun ~time:_ ~tg_id -> Modes.drop_tg modes ~tg_id);
   }

@@ -170,4 +170,7 @@ let create ~mode ~seed cluster =
                   st.outstanding <- max 0 (st.outstanding - 1))
                 q;
               Queue.clear q);
+    (* Stubs for a dropped group drain lazily: the late-binding pass
+       discards reservations whose [remaining] hit zero. *)
+    drop_task_group = (fun ~time:_ ~tg_id -> Modes.drop_tg modes ~tg_id);
   }

@@ -11,6 +11,10 @@ type tg_info = {
   mutable placed : int;
   mutable cancelled : bool;
   mutable satisfied_at : float option;
+  mutable ever_satisfied : bool;
+      (* the group reached full placement at least once — even a group
+         requeued before its first satisfaction still feeds the
+         placement-latency histogram exactly once *)
   mutable requeued_at : float option;
       (* last fault-driven requeue still awaiting re-placement *)
 }
@@ -87,6 +91,7 @@ let on_submit t ~time (poly : Poly_req.t) =
           placed = 0;
           cancelled = false;
           satisfied_at = None;
+          ever_satisfied = false;
           requeued_at = None;
         })
     poly.task_groups;
@@ -108,14 +113,21 @@ let on_place t ~time ~(tg : Poly_req.task_group) ~machine ~charged =
       ti.cancelled <- false;
       if ti.placed >= ti.expected && ti.satisfied_at = None then begin
         ti.satisfied_at <- Some time;
-        (* First-time satisfaction feeds the paper's placement-latency
-           figure; a group re-placed after a fault feeds the
-           time-to-reschedule histogram instead. *)
+        (* First-ever satisfaction always feeds the paper's
+           placement-latency figure (even when a fault requeued the
+           group before it was ever fully placed — dropping those would
+           bias the figure by exactly the slow cases); a re-placement
+           after a fault additionally feeds the time-to-reschedule
+           histogram. *)
+        if not ti.ever_satisfied then begin
+          ti.ever_satisfied <- true;
+          Obs.Histogram.observe t.latency_h (time -. ti.arrival)
+        end;
         match ti.requeued_at with
         | Some t0 ->
             ti.requeued_at <- None;
             Obs.Histogram.observe t.reschedule_h (time -. t0)
-        | None -> Obs.Histogram.observe t.latency_h (time -. ti.arrival)
+        | None -> ()
       end);
   match Hashtbl.find_opt t.jobs tg.job_id with
   | None -> ()

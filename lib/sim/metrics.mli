@@ -40,7 +40,8 @@ val on_task_kill :
 
 (** [n] killed tasks of [tg] were re-enqueued: the group drops out of
     the satisfied state until they are re-placed; re-satisfaction feeds
-    the time-to-reschedule histogram (not placement latency). *)
+    the time-to-reschedule histogram (plus placement latency if the
+    group had never been fully placed before). *)
 val on_requeue : t -> time:float -> tg:Hire.Poly_req.task_group -> n:int -> unit
 
 (** [n] killed tasks of [tg] exhausted the retry budget: the group is

@@ -36,4 +36,9 @@ type t = {
           after the killed tasks' [on_task_complete] calls; schedulers
           with machine-local state (e.g. Sparrow's stub queues) must
           flush it here. *)
+  drop_task_group : time:float -> tg_id:int -> unit;
+      (** fault injection: the simulator gave up on [tg_id] (retry
+          budget exhausted); the scheduler must drop the group's
+          still-pending instances so no further placements are attempted
+          for it. *)
 }

@@ -31,7 +31,7 @@ type running = {
 type gang_entry = {
   target : int;  (* instances the group needs before any task starts *)
   mutable g_placed : int;
-  mutable held : (int * float) list;  (* token, placement time *)
+  mutable held : int list;  (* tokens holding resources until assembly *)
 }
 
 type result = { report : Metrics.report; end_time : float; events_processed : int }
@@ -49,11 +49,26 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
   (match faults with
   | None -> ()
   | Some plan ->
+      (* Plan events past [hard_end] cannot affect any placement; letting
+         them through would only stretch [end_time] and the load
+         integrals, skewing faulty vs fault-free comparisons.  A recover
+         whose fail did make it in is clamped to [hard_end] so every
+         seeded outage stays paired. *)
+      let down_at_end : (int, unit) Hashtbl.t = Hashtbl.create 8 in
       List.iter
         (fun (e : Faults.Plan.event) ->
           match e.kind with
-          | Faults.Plan.Fail -> Event_queue.push queue ~time:e.time (Node_fail e.node)
-          | Faults.Plan.Recover -> Event_queue.push queue ~time:e.time (Node_recover e.node))
+          | Faults.Plan.Fail ->
+              if e.time <= hard_end then begin
+                Hashtbl.replace down_at_end e.node ();
+                Event_queue.push queue ~time:e.time (Node_fail e.node)
+              end
+          | Faults.Plan.Recover ->
+              if Hashtbl.mem down_at_end e.node then begin
+                Hashtbl.remove down_at_end e.node;
+                Event_queue.push queue ~time:(Float.min e.time hard_end)
+                  (Node_recover e.node)
+              end)
         (Faults.Plan.events plan));
   let round_armed = ref false in
   let arm_round ~time delay =
@@ -86,9 +101,21 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
     | Some tbl -> Hashtbl.remove tbl token
     | None -> ()
   in
+  let release_resources (r : running) =
+    match r.r_tg.Poly_req.kind with
+    | Poly_req.Server_tg ->
+        Cluster.release_server_task cluster ~server:r.r_machine
+          ~demand:r.r_tg.Poly_req.demand
+    | Poly_req.Network_tg _ ->
+        Cluster.release_network_task cluster ~switch:r.r_machine ~tg:r.r_tg
+          ~shared:r.r_shared
+  in
   (* ---- requeue state ---- *)
   (* Per task group: how many times a failure already sent it back. *)
   let attempts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Groups whose retry budget is exhausted: a still-queued [Retry] for
+     such a group must not resubmit it. *)
+  let cancelled_tgs : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   (* Requeued clones carry a synthetic (negative) poly job id so that
      scheduler-internal keying never collides with a live original; the
      embedded task groups keep their real ids for metrics and ledgers. *)
@@ -131,13 +158,16 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
             ge
       in
       ge.g_placed <- ge.g_placed + 1;
-      ge.held <- (token, time) :: ge.held;
+      ge.held <- token :: ge.held;
       if ge.g_placed >= ge.target then begin
         Hashtbl.remove gang_state tg_id;
+        (* No member runs before the last one lands, so every completion
+           is anchored at the assembly time — not each task's own
+           placement time. *)
         List.iter
-          (fun (tok, t0) ->
+          (fun tok ->
             match Hashtbl.find_opt running tok with
-            | Some r -> schedule_completion ~time:t0 tok r
+            | Some r -> schedule_completion ~time tok r
             | None -> () (* killed while the gang was assembling *))
           ge.held
       end
@@ -160,18 +190,12 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
         | None -> ()
         | Some r ->
             unregister token r;
-            (match r.r_tg.Poly_req.kind with
-            | Poly_req.Server_tg ->
-                Cluster.release_server_task cluster ~server:machine
-                  ~demand:r.r_tg.Poly_req.demand
-            | Poly_req.Network_tg _ ->
-                Cluster.release_network_task cluster ~switch:machine ~tg:r.r_tg
-                  ~shared:r.r_shared);
+            release_resources r;
             (if config.gang then
                match Hashtbl.find_opt gang_state r.r_tg.Poly_req.tg_id with
                | Some ge ->
                    ge.g_placed <- ge.g_placed - 1;
-                   ge.held <- List.filter (fun (tok, _) -> tok <> token) ge.held
+                   ge.held <- List.filter (fun tok -> tok <> token) ge.held
                | None -> ());
             if Obs.enabled () then begin
               Obs.Trace.emit "task_kill"
@@ -202,7 +226,35 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
         Obs.Trace.emit "tg_fault_cancel"
           [ ("tg", Obs.Trace.Int tg.tg_id); ("lost", Obs.Trace.Int n) ]
       end;
-      Metrics.on_fault_cancel metrics ~time ~tg ~n
+      Metrics.on_fault_cancel metrics ~time ~tg ~n;
+      (* A cancelled group can never finish: stop the scheduler from
+         placing its remaining instances, and tear down any siblings
+         still holding resources while the gang was assembling —
+         otherwise their capacity leaks for the rest of the run. *)
+      Hashtbl.replace cancelled_tgs tg.tg_id ();
+      sched.drop_task_group ~time ~tg_id:tg.tg_id;
+      match Hashtbl.find_opt gang_state tg.tg_id with
+      | None -> ()
+      | Some ge ->
+          Hashtbl.remove gang_state tg.tg_id;
+          List.iter
+            (fun tok ->
+              match Hashtbl.find_opt running tok with
+              | None -> ()
+              | Some r ->
+                  unregister tok r;
+                  release_resources r;
+                  if Obs.enabled () then begin
+                    Obs.Trace.emit "task_kill"
+                      [
+                        ("tg", Obs.Trace.Int r.r_tg.Poly_req.tg_id);
+                        ("machine", Obs.Trace.Int r.r_machine);
+                      ];
+                    Obs.Registry.incr (Obs.Registry.counter "sim.task_kills")
+                  end;
+                  Metrics.on_task_kill metrics ~time ~tg:r.r_tg ~released:r.r_charged;
+                  sched.on_task_complete ~time ~tg:r.r_tg ~machine:r.r_machine)
+            (List.rev ge.held)
     end
     else begin
       if Obs.enabled () then begin
@@ -261,12 +313,22 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
             arm_round ~time 0.0
         | Retry poly ->
             (* Metrics saw the requeue at kill time; this is the delayed
-               re-submission of the lost instances. *)
-            if Obs.enabled () then
-              Obs.Trace.emit "tg_resubmit"
-                [ ("job", Obs.Trace.Int poly.Poly_req.job_id) ];
-            sched.submit ~time poly;
-            arm_round ~time 0.0
+               re-submission of the lost instances.  Groups cancelled in
+               the meantime (a later failure exhausted the budget) are
+               dropped rather than resubmitted. *)
+            let live =
+              List.filter
+                (fun (tg : Poly_req.task_group) ->
+                  not (Hashtbl.mem cancelled_tgs tg.Poly_req.tg_id))
+                poly.Poly_req.task_groups
+            in
+            if live <> [] then begin
+              if Obs.enabled () then
+                Obs.Trace.emit "tg_resubmit"
+                  [ ("job", Obs.Trace.Int poly.Poly_req.job_id) ];
+              sched.submit ~time { poly with Poly_req.task_groups = live };
+              arm_round ~time 0.0
+            end
         | Round ->
             round_armed := false;
             let res = sched.round ~time in
@@ -306,13 +368,7 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
             | Some r ->
                 unregister token r;
                 let tg = r.r_tg and machine = r.r_machine in
-                (match tg.Poly_req.kind with
-                | Poly_req.Server_tg ->
-                    Cluster.release_server_task cluster ~server:machine
-                      ~demand:tg.Poly_req.demand
-                | Poly_req.Network_tg _ ->
-                    Cluster.release_network_task cluster ~switch:machine ~tg
-                      ~shared:r.r_shared);
+                release_resources r;
                 if Obs.enabled () then begin
                   Obs.Trace.emit "task_complete"
                     [

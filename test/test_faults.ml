@@ -43,6 +43,23 @@ let server_only_req n =
     connections = [];
   }
 
+(* One task per server (cpu 50 of 96): [n] > server count leaves the
+   tail of the group pending forever on an otherwise idle cluster. *)
+let fat_server_req n =
+  {
+    Comp_req.priority = Workload.Job.Batch;
+    composites =
+      [
+        {
+          Comp_req.comp_id = "c0";
+          template = "server";
+          base = { Comp_req.instances = n; cpu = 50.0; mem = 4.0; duration = 30.0 };
+          inc_alternatives = [];
+        };
+      ];
+    connections = [];
+  }
+
 let inc_req ?(service = "netchain") ?(n = 10) () =
   {
     Comp_req.priority = Workload.Job.Batch;
@@ -355,6 +372,93 @@ let test_inc_tasks_survive_switch_outage () =
     (r.Sim.Metrics.tgs_satisfied + r.Sim.Metrics.tgs_cancelled);
   check_conserved "hire/inc" cluster
 
+let test_gang_cancel_releases_held_siblings () =
+  (* A gang that can never assemble: 20 one-per-server tasks on 16
+     servers.  Killing one held instance with a zero retry budget must
+     cancel the group AND tear down the 15 surviving holders; without
+     the teardown they leak their servers for the rest of the run while
+     the scheduler keeps feeding the doomed gang. *)
+  let cluster = make_cluster () in
+  let servers = Topology.Fat_tree.servers (Sim.Cluster.topo cluster) in
+  let faults =
+    Plan.scripted
+      [
+        { Plan.time = 5.0; node = servers.(0); kind = Plan.Fail };
+        { Plan.time = 6.0; node = servers.(0); kind = Plan.Recover };
+      ]
+  in
+  let fault_policy = Policy.create ~max_retries:0 () in
+  let arrivals = [ (0.0, poly_of_req (fat_server_req 20)) ] in
+  let sched = Schedulers.Registry.create "yarn-concurrent" ~seed:17 cluster in
+  let config = { Sim.Simulator.default_config with gang = true } in
+  let result = Sim.Simulator.run ~config ~faults ~fault_policy cluster sched arrivals in
+  let r = result.Sim.Simulator.report in
+  Alcotest.(check int) "all 16 holders torn down" 16 r.Sim.Metrics.tasks_killed;
+  Alcotest.(check int) "no requeues with a zero budget" 0 r.Sim.Metrics.requeues;
+  Alcotest.(check int) "one killed task cancelled" 1 r.Sim.Metrics.fault_cancels;
+  Alcotest.(check int) "group counted cancelled" 1 r.Sim.Metrics.tgs_cancelled;
+  Alcotest.(check int) "group never satisfied" 0 r.Sim.Metrics.tgs_satisfied;
+  Alcotest.(check bool) "scheduler dropped the pending tail" false
+    (sched.Sim.Scheduler_intf.pending ());
+  check_conserved "gang-cancel" cluster
+
+let test_faults_past_drain_clamped () =
+  (* hard_end = last arrival + drain = 300.  The fail at 250 is in the
+     window; its recover at 1000 is clamped to 300 so the outage stays
+     paired.  The 400/450 pair is entirely outside and must neither
+     deliver events nor stretch the run past the drain window. *)
+  let cluster = make_cluster () in
+  let servers = Topology.Fat_tree.servers (Sim.Cluster.topo cluster) in
+  let faults =
+    Plan.scripted
+      [
+        { Plan.time = 250.0; node = servers.(0); kind = Plan.Fail };
+        { Plan.time = 1000.0; node = servers.(0); kind = Plan.Recover };
+        { Plan.time = 400.0; node = servers.(1); kind = Plan.Fail };
+        { Plan.time = 450.0; node = servers.(1); kind = Plan.Recover };
+      ]
+  in
+  let arrivals = [ (0.0, poly_of_req (server_only_req 4)) ] in
+  let sched = Schedulers.Registry.create "yarn-concurrent" ~seed:17 cluster in
+  let result = Sim.Simulator.run ~faults cluster sched arrivals in
+  let r = result.Sim.Simulator.report in
+  Alcotest.(check int) "only the in-window fail delivered" 1 r.Sim.Metrics.node_fails;
+  Alcotest.(check int) "clamped recover delivered" 1 r.Sim.Metrics.node_recoveries;
+  Alcotest.(check int) "one downtime sample" 1
+    (Obs.Histogram.count r.Sim.Metrics.node_downtime);
+  Alcotest.(check bool) "run does not outlive the drain window" true
+    (result.Sim.Simulator.end_time <= 300.0 +. 1e-9);
+  check_conserved "past-drain" cluster
+
+let test_requeue_before_first_satisfaction_feeds_latency () =
+  (* The group (20 one-per-server tasks) is still partially pending when
+     server 0 dies, so its requeue precedes its first full placement.
+     The eventual first satisfaction must feed the placement-latency
+     histogram (dropping it would bias the figure by exactly the slow
+     cases) in addition to time-to-reschedule. *)
+  let cluster = make_cluster () in
+  let servers = Topology.Fat_tree.servers (Sim.Cluster.topo cluster) in
+  let faults =
+    Plan.scripted
+      [
+        { Plan.time = 5.0; node = servers.(0); kind = Plan.Fail };
+        { Plan.time = 5.5; node = servers.(0); kind = Plan.Recover };
+      ]
+  in
+  let arrivals = [ (0.0, poly_of_req (fat_server_req 20)) ] in
+  let sched = Schedulers.Registry.create "yarn-concurrent" ~seed:17 cluster in
+  let result = Sim.Simulator.run ~faults cluster sched arrivals in
+  let r = result.Sim.Simulator.report in
+  Alcotest.(check int) "one task killed and requeued" 1 r.Sim.Metrics.requeues;
+  Alcotest.(check int) "nothing cancelled" 0 r.Sim.Metrics.fault_cancels;
+  Alcotest.(check int) "group eventually satisfied" r.Sim.Metrics.tgs_total
+    r.Sim.Metrics.tgs_satisfied;
+  Alcotest.(check int) "placement latency sampled once" 1
+    (Obs.Histogram.count r.Sim.Metrics.placement_latency);
+  Alcotest.(check int) "reschedule latency sampled once" 1
+    (Obs.Histogram.count r.Sim.Metrics.time_to_reschedule);
+  check_conserved "requeue-latency" cluster
+
 let test_fault_run_deterministic () =
   let spec =
     {
@@ -557,6 +661,12 @@ let () =
           Alcotest.test_case "cancel after retry budget" `Slow test_cancel_after_retry_budget;
           Alcotest.test_case "INC tasks survive switch outage" `Slow
             test_inc_tasks_survive_switch_outage;
+          Alcotest.test_case "gang cancel releases held siblings" `Slow
+            test_gang_cancel_releases_held_siblings;
+          Alcotest.test_case "plan events past drain clamped" `Slow
+            test_faults_past_drain_clamped;
+          Alcotest.test_case "requeue before first satisfaction feeds latency" `Slow
+            test_requeue_before_first_satisfaction_feeds_latency;
           Alcotest.test_case "fault runs deterministic" `Slow test_fault_run_deterministic;
         ] );
       ( "properties",
