@@ -9,8 +9,10 @@ test:
 	dune runtest
 
 # Tier-1 gate plus smoke-checks that the observability and fault flags
-# are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md) and
-# that a small deterministic fault-injected run completes.
+# are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md), that a
+# small deterministic fault-injected run completes, that bad flags fail
+# fast with a one-line error, and that the parallel sweep runner
+# (docs/RUNNER.md) executes and resumes a tiny sweep.
 check:
 	dune build
 	dune runtest
@@ -19,6 +21,23 @@ check:
 	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--faults'
 	dune exec bin/hire_sim.exe -- --scheduler yarn-concurrent --mu 0.25 -k 4 \
 		--horizon 30 --seeds 1 --faults --mtbf 40 --mttr 5 > /dev/null
+	@if dune exec bin/hire_sim.exe -- -s bogus 2>/tmp/hire_sim_err.txt; then \
+		echo "check: FAIL (bad scheduler should exit non-zero)"; exit 1; fi
+	@grep -q 'unknown scheduler' /tmp/hire_sim_err.txt || \
+		{ echo "check: FAIL (expected one-line unknown-scheduler error)"; exit 1; }
+	@test "$$(wc -l < /tmp/hire_sim_err.txt)" -eq 1 || \
+		{ echo "check: FAIL (error should be one line, got:)"; cat /tmp/hire_sim_err.txt; exit 1; }
+	rm -rf /tmp/hire_check_sweep
+	dune exec bin/hire_sweep.exe -- --jobs 2 -k 4 --horizon 40 --util 2.0 \
+		--schedulers yarn-concurrent --mus 0.5 --seeds 1,2 \
+		--cache-dir /tmp/hire_check_sweep/cache \
+		--out /tmp/hire_check_sweep/sweep.csv --quiet
+	dune exec bin/hire_sweep.exe -- --jobs 2 -k 4 --horizon 40 --util 2.0 \
+		--schedulers yarn-concurrent --mus 0.5 --seeds 1,2 \
+		--cache-dir /tmp/hire_check_sweep/cache \
+		--out /tmp/hire_check_sweep/sweep.csv --quiet --resume \
+		| grep -q '2 cached'
+	rm -rf /tmp/hire_check_sweep
 	@echo "check: OK"
 
 # odoc is optional in this environment; the lib/obs dune env marks its

@@ -56,35 +56,118 @@ let spec ~scheduler ~mu ~setup ~seed =
   { Experiment.default with scheduler; mu; setup; seed; horizon }
 
 (* ------------------------------------------------------------------ *)
-(* Result cache: every figure reads from the same sweep.              *)
+(* Result store: every figure reads from one sweep, executed upfront   *)
+(* by the parallel runner (lib/runner; HIRE_BENCH_JOBS worker          *)
+(* processes, docs/RUNNER.md).                                         *)
 (* ------------------------------------------------------------------ *)
+
+let jobs =
+  match Sys.getenv_opt "HIRE_BENCH_JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> 1)
+  | None -> 1
+
+let trace_path = Sys.getenv_opt "HIRE_BENCH_TRACE"
+let obs_summary = Sys.getenv_opt "HIRE_BENCH_OBS" <> None
+
+(* Forked workers keep their obs registry/trace buffers to themselves,
+   so instrumented runs fall back to in-process execution. *)
+let isolate = trace_path = None && not obs_summary
+
+let faults_enabled = Sys.getenv_opt "HIRE_BENCH_FAULTS" <> None
+
+(* Aggressive churn relative to the trace: several fail/recover cycles
+   per node per run, so requeue throughput dominates the numbers. *)
+let fault_spec =
+  {
+    Faults.plan =
+      {
+        Faults.Plan.default_config with
+        server_mtbf = 120.0;
+        switch_mtbf = 240.0;
+        server_mttr = 15.0;
+        switch_mttr = 15.0;
+      };
+    policy = Faults.Policy.default;
+  }
+
+let base = { Experiment.default with horizon }
+
+(* The cells the figures need, in the order the tables print them (and
+   the order the CSV rows are written in). *)
+let main_specs =
+  Experiment.sweep base
+    ~setups:[ Sim.Cluster.Homogeneous; Sim.Cluster.Heterogeneous ]
+    ~schedulers ~mus ~seeds
+
+(* Fig. 7 adds a dedicated mu=0 HIRE run; the ablations add the three
+   variants the main sweep does not cover. *)
+let fig7_specs =
+  Experiment.sweep base ~schedulers:[ "hire" ] ~mus:[ 0.0 ]
+    ~setups:[ Sim.Cluster.Homogeneous ] ~seeds
+
+let ablation_specs =
+  Experiment.sweep base
+    ~schedulers:[ "hire-noloc"; "hire-noshare"; "hire-scaling" ]
+    ~mus:[ 1.0 ] ~setups:[ Sim.Cluster.Homogeneous ] ~seeds
+
+let fault_specs =
+  if not faults_enabled then []
+  else
+    Experiment.sweep
+      { base with faults = Some fault_spec }
+      ~schedulers ~mus:[ 0.5 ]
+      ~setups:[ Sim.Cluster.Homogeneous ]
+      ~seeds
+
+let dedup specs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun s ->
+      let k = Experiment.cell_key s in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    specs
+
+let csv_specs = dedup (main_specs @ fig7_specs @ ablation_specs)
+let all_specs = dedup (csv_specs @ fault_specs)
+
+let results : (string, Metrics.report) Hashtbl.t = Hashtbl.create 512
+
+(* Failed/missing cells recompute inline so one bad cell cannot hole a
+   table; prime makes this the exception, not the path. *)
+let report_for s =
+  let key = Experiment.cell_key s in
+  match Hashtbl.find_opt results key with
+  | Some r -> r
+  | None ->
+      let r = Experiment.run s in
+      Hashtbl.replace results key r;
+      r
+
+let prime () =
+  let outcomes, stats =
+    Runner.run ~jobs ~isolate ~key:Experiment.cell_key ~label:Experiment.describe
+      ~log:(fun line -> Printf.eprintf "  %s\n%!" line)
+      ~f:Experiment.run all_specs
+  in
+  List.iter2
+    (fun s (o : _ Runner.outcome) ->
+      match o.result with
+      | Ok r -> Hashtbl.replace results o.key r
+      | Error reason ->
+          Printf.eprintf "  [runner] cell %s failed (%s); will recompute inline\n%!"
+            (Experiment.describe s)
+            (Runner.Pool.reason_to_string reason))
+    all_specs outcomes;
+  Printf.eprintf "  [runner] sweep: %s\n%!" (Format.asprintf "%a" Runner.pp_stats stats)
 
 type cell = { reports : Metrics.report list }
 
-let cache : (string * float * Sim.Cluster.inc_setup, cell) Hashtbl.t = Hashtbl.create 64
-let csv_rows : string list ref = ref []
-
 let cell ~scheduler ~mu ~setup =
-  let key = (scheduler, mu, setup) in
-  match Hashtbl.find_opt cache key with
-  | Some c -> c
-  | None ->
-      let t0 = Unix.gettimeofday () in
-      let reports =
-        List.map (fun seed -> Experiment.run (spec ~scheduler ~mu ~setup ~seed)) seeds
-      in
-      Printf.eprintf "  [run] %-18s mu=%-4.2f %-13s %d seed(s)  %.1fs\n%!" scheduler mu
-        (Sim.Cluster.inc_setup_to_string setup)
-        (List.length seeds)
-        (Unix.gettimeofday () -. t0);
-      List.iteri
-        (fun i r ->
-          csv_rows :=
-            Sim.Csv_export.row ~scheduler ~mu ~setup ~seed:(List.nth seeds i) r :: !csv_rows)
-        reports;
-      let c = { reports } in
-      Hashtbl.replace cache key c;
-      c
+  { reports = List.map (fun seed -> report_for (spec ~scheduler ~mu ~setup ~seed)) seeds }
 
 let mean_of ~scheduler ~mu ~setup f =
   Stats.mean (List.map f (cell ~scheduler ~mu ~setup).reports)
@@ -296,23 +379,6 @@ let ablations () =
 (* Faults: scheduling throughput under churn (HIRE_BENCH_FAULTS=1)    *)
 (* ------------------------------------------------------------------ *)
 
-let faults_enabled = Sys.getenv_opt "HIRE_BENCH_FAULTS" <> None
-
-(* Aggressive churn relative to the trace: several fail/recover cycles
-   per node per run, so requeue throughput dominates the numbers. *)
-let fault_spec =
-  {
-    Faults.plan =
-      {
-        Faults.Plan.default_config with
-        server_mtbf = 120.0;
-        switch_mtbf = 240.0;
-        server_mttr = 15.0;
-        switch_mttr = 15.0;
-      };
-    policy = Faults.Policy.default;
-  }
-
 let fault_bench () =
   header "[faults] scheduling under churn (HIRE_BENCH_FAULTS)"
     "Seeded MTBF/MTTR fault plan at mu=0.5, homogeneous switches; killed task\n\
@@ -324,7 +390,7 @@ let fault_bench () =
       let reports =
         List.map
           (fun seed ->
-            Experiment.run
+            report_for
               {
                 (spec ~scheduler ~mu:0.5 ~setup:Sim.Cluster.Homogeneous ~seed) with
                 faults = Some fault_spec;
@@ -453,15 +519,18 @@ let bechamel_benches () =
 (* Main                                                               *)
 (* ------------------------------------------------------------------ *)
 
+let csv_path = Filename.concat "results" "bench_results.csv"
+
 let () =
-  let trace_path = Sys.getenv_opt "HIRE_BENCH_TRACE" in
-  let obs_summary = Sys.getenv_opt "HIRE_BENCH_OBS" <> None in
   if trace_path <> None || obs_summary then Obs.set_enabled true;
   (match trace_path with Some f -> Obs.Trace.open_jsonl f | None -> ());
   Printf.printf "HIRE reproduction benchmark harness\n";
-  Printf.printf "seeds=%d horizon=%.0fs mus=[%s] fat-tree k=%d\n" (List.length seeds) horizon
+  Printf.printf "seeds=%d horizon=%.0fs mus=[%s] fat-tree k=%d jobs=%d%s\n"
+    (List.length seeds) horizon
     (String.concat "; " (List.map (Printf.sprintf "%.2f") mus))
-    Experiment.default.Experiment.k;
+    Experiment.default.Experiment.k jobs
+    (if isolate then "" else " (instrumented: cells run in-process)");
+  prime ();
   tab3 ();
   let homog = Sim.Cluster.Homogeneous and het = Sim.Cluster.Heterogeneous in
   (* Homogeneous block (Fig. 8a-8e). *)
@@ -482,8 +551,14 @@ let () =
   ablations ();
   if faults_enabled then fault_bench ();
   bechamel_benches ();
-  Sim.Csv_export.write_file "bench_results.csv" (List.rev !csv_rows);
-  Printf.printf "\nper-cell rows written to bench_results.csv\n";
+  Runner.Cache.ensure_dir "results";
+  Sim.Csv_export.write_file csv_path
+    (List.map
+       (fun (s : Experiment.spec) ->
+         Sim.Csv_export.row ~scheduler:s.scheduler ~mu:s.mu ~setup:s.setup ~seed:s.seed
+           (report_for s))
+       csv_specs);
+  Printf.printf "\nper-cell rows written to %s\n" csv_path;
   if obs_summary then begin
     Printf.printf "\n--- observability summary ---\n";
     Format.printf "%a%!" Obs.Registry.pp_summary ()

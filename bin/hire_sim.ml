@@ -209,4 +209,11 @@ let cmd =
       const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction
       $ faults_flag $ mtbf $ mttr $ max_retries $ verbose $ csv $ trace $ obs_summary)
 
-let () = exit (Cmd.eval cmd)
+(* [~catch:false] so bad flag values (unknown scheduler/setup) and
+   unreadable/unwritable files exit 1 with a one-line error instead of
+   cmdliner's "internal error" backtrace. *)
+let () =
+  try exit (Cmd.eval ~catch:false cmd)
+  with Failure msg | Sys_error msg | Invalid_argument msg ->
+    Printf.eprintf "hire_sim: %s\n" msg;
+    exit 1

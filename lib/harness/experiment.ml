@@ -70,3 +70,58 @@ let run spec =
 let run_seeds spec seeds = List.map (fun seed -> run { spec with seed }) seeds
 
 let mean_over f reports = Prelude.Stats.mean (List.map f reports)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep enumeration and cell identity                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sweep ?schedulers ?mus ?setups ?seeds base =
+  let axis opt default = match opt with Some l -> l | None -> [ default ] in
+  let schedulers = axis schedulers base.scheduler in
+  let mus = axis mus base.mu in
+  let setups = axis setups base.setup in
+  let seeds = axis seeds base.seed in
+  List.concat_map
+    (fun setup ->
+      List.concat_map
+        (fun scheduler ->
+          List.concat_map
+            (fun mu -> List.map (fun seed -> { base with scheduler; mu; setup; seed }) seeds)
+            mus)
+        schedulers)
+    setups
+
+let describe spec =
+  Printf.sprintf "%s mu=%.2f %s k=%d seed=%d%s" spec.scheduler spec.mu
+    (Sim.Cluster.inc_setup_to_string spec.setup)
+    spec.k spec.seed
+    (match spec.faults with None -> "" | Some _ -> " +faults")
+
+(* Bump when the meaning of a cell changes without its spec changing
+   (simulator semantics, trace generator, metrics definitions, ...) so
+   that stale cache entries miss instead of resurfacing as fresh data. *)
+let cell_schema_version = "1"
+
+let cell_key spec =
+  let b = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  (* %h renders the exact float bits, so keys never collide or drift
+     through decimal rounding. *)
+  addf "hire.experiment.cell.v%s" cell_schema_version;
+  addf "|scheduler=%s" spec.scheduler;
+  addf "|mu=%h" spec.mu;
+  addf "|setup=%s" (Sim.Cluster.inc_setup_to_string spec.setup);
+  addf "|k=%d" spec.k;
+  addf "|horizon=%h" spec.horizon;
+  addf "|seed=%d" spec.seed;
+  addf "|util=%h" spec.target_utilization;
+  (match spec.inc_capable_fraction with
+  | None -> addf "|frac=default"
+  | Some f -> addf "|frac=%h" f);
+  (match spec.faults with
+  | None -> addf "|faults=none"
+  | Some { Faults.plan; policy } ->
+      addf "|faults=mtbf:%h,%h;mttr:%h,%h;w:%h;retries:%d;backoff:%h;mult:%h"
+        plan.Faults.Plan.server_mtbf plan.switch_mtbf plan.server_mttr plan.switch_mttr
+        plan.inc_weight policy.Faults.Policy.max_retries policy.backoff policy.multiplier);
+  Digest.to_hex (Digest.string (Buffer.contents b))

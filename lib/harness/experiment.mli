@@ -35,3 +35,33 @@ val run_seeds : spec -> int list -> Sim.Metrics.report list
 
 (** Mean of a per-report statistic across seeds. *)
 val mean_over : (Sim.Metrics.report -> float) -> Sim.Metrics.report list -> float
+
+(** [sweep base ~schedulers ~mus ~setups ~seeds] enumerates one spec per
+    cell of the cross product, as [{ base with scheduler; mu; setup;
+    seed }].  Omitted axes default to the singleton taken from [base].
+    Enumeration order is deterministic and setup-major: setups, then
+    schedulers, then μ values, then seeds, each in the order given —
+    the order the paper's tables are printed in, and the order
+    [bin/hire_sweep] emits CSV rows in. *)
+val sweep :
+  ?schedulers:string list ->
+  ?mus:float list ->
+  ?setups:Sim.Cluster.inc_setup list ->
+  ?seeds:int list ->
+  spec ->
+  spec list
+
+(** One-line human-readable cell description (runner progress lines,
+    failure records). *)
+val describe : spec -> string
+
+(** [cell_key spec] is a content hash (hex digest) of everything that
+    determines the cell's result: topology (k, setup, INC fraction),
+    workload (horizon, offered load, μ), scheduler, seed, and the fault
+    plan/policy if any.  Equal specs hash equal; any semantic change
+    hashes different.  Used as the {!Runner.Cache} key, so resumed
+    sweeps recompute exactly the cells whose config changed.  The hash
+    also folds in an internal schema version — bump it when simulator
+    semantics change the meaning of a result without the spec
+    changing. *)
+val cell_key : spec -> string

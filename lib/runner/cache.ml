@@ -1,0 +1,71 @@
+type t = { dir : string; magic : string }
+
+let suffix = ".cell"
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let sanitize key =
+  (* Keys are expected to be hex digests; anything else is flattened to a
+     digest so a hostile key can never escape the cache directory. *)
+  let safe =
+    String.for_all
+      (fun c ->
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+        || c = '-' || c = '_' || c = '.')
+      key
+    && key <> "" && key.[0] <> '.'
+  in
+  if safe then key else Digest.to_hex (Digest.string key)
+
+let create ?(version = "1") dir =
+  ensure_dir dir;
+  { dir; magic = "hire-runner-cache/" ^ version ^ "\n" }
+
+let dir t = t.dir
+let path t key = Filename.concat t.dir (sanitize key ^ suffix)
+
+let load t key =
+  let file = path t key in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception _ -> None
+  | contents ->
+      let m = String.length t.magic in
+      if String.length contents <= m || String.sub contents 0 m <> t.magic then None
+      else ( try Some (Marshal.from_string contents m) with _ -> None)
+
+let store t key v =
+  let file = path t key in
+  let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc t.magic;
+         Marshal.to_channel oc v [])
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp file
+
+let mem t key = Sys.file_exists (path t key)
+
+let remove t key = try Sys.remove (path t key) with Sys_error _ -> ()
+
+let keys t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun e ->
+             if Filename.check_suffix e suffix then Some (Filename.chop_suffix e suffix)
+             else None)

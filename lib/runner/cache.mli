@@ -1,0 +1,43 @@
+(** On-disk result cache for sweep cells.
+
+    One file per key under the cache directory, written atomically
+    (temp file + rename), holding a version-tagged [Marshal] snapshot of
+    the cell's result.  Keys are content hashes of the cell config
+    ({!Harness.Experiment.cell_key}), so an interrupted sweep restarted
+    over the same directory reloads every finished cell and only
+    recomputes the missing ones; a config change produces a different
+    key and therefore a clean miss.
+
+    Robustness: a truncated, corrupt, or version-mismatched entry is
+    treated as a miss (and may be overwritten), never as an error — the
+    cache can only save work, not poison a sweep. *)
+
+type t
+
+(** [ensure_dir dir] creates [dir] (and parents) if missing — the
+    [mkdir -p] every sweep output path needs. *)
+val ensure_dir : string -> unit
+
+(** [create ?version dir] opens (creating directories as needed) a cache
+    rooted at [dir].  [version] (default ["1"]) is baked into every
+    entry's header; bump it when the meaning of cached values changes so
+    stale entries miss instead of deserialising garbage. *)
+val create : ?version:string -> string -> t
+
+val dir : t -> string
+
+(** [load t key] is the cached value, or [None] on a miss (including
+    unreadable / corrupt / wrong-version entries).  Unsafe like
+    [Marshal]: the caller must request the type that was stored. *)
+val load : t -> string -> 'a option
+
+(** [store t key v] atomically persists [v] under [key]. *)
+val store : t -> string -> 'a -> unit
+
+val mem : t -> string -> bool
+
+(** [remove t key] deletes the entry if present. *)
+val remove : t -> string -> unit
+
+(** Keys of every well-formed entry currently on disk (unsorted). *)
+val keys : t -> string list

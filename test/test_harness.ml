@@ -1,0 +1,182 @@
+(* Tests for Harness.Experiment's sweep enumeration and cell identity:
+   deterministic setup-major order, [{ default with ... }] override
+   propagation, content-hash keys that track every semantic field, and
+   distinct RNG streams per seed. *)
+
+module Experiment = Harness.Experiment
+
+let homog = Sim.Cluster.Homogeneous
+let het = Sim.Cluster.Heterogeneous
+
+(* Rendered cell identity: easy to list literally and to diff on failure. *)
+let tuple (s : Experiment.spec) =
+  Printf.sprintf "%s/%.2f/%s/%d" s.scheduler s.mu
+    (Sim.Cluster.inc_setup_to_string s.setup)
+    s.seed
+
+let cellid = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_defaults_to_base () =
+  let base = Experiment.default in
+  Alcotest.(check (list cellid)) "no axes -> the base cell" [ tuple base ]
+    (List.map tuple (Experiment.sweep base))
+
+let test_sweep_enumeration_order () =
+  let cells =
+    Experiment.sweep Experiment.default ~setups:[ homog; het ]
+      ~schedulers:[ "hire"; "k8-concurrent" ] ~mus:[ 0.25; 1.0 ] ~seeds:[ 1; 2 ]
+  in
+  (* Setup-major, then scheduler, then mu, then seed — the order the
+     paper's tables print and hire_sweep writes CSV rows. *)
+  let expected =
+    [
+      "hire/0.25/homogeneous/1"; "hire/0.25/homogeneous/2";
+      "hire/1.00/homogeneous/1"; "hire/1.00/homogeneous/2";
+      "k8-concurrent/0.25/homogeneous/1"; "k8-concurrent/0.25/homogeneous/2";
+      "k8-concurrent/1.00/homogeneous/1"; "k8-concurrent/1.00/homogeneous/2";
+      "hire/0.25/heterogeneous/1"; "hire/0.25/heterogeneous/2";
+      "hire/1.00/heterogeneous/1"; "hire/1.00/heterogeneous/2";
+      "k8-concurrent/0.25/heterogeneous/1"; "k8-concurrent/0.25/heterogeneous/2";
+      "k8-concurrent/1.00/heterogeneous/1"; "k8-concurrent/1.00/heterogeneous/2";
+    ]
+  in
+  Alcotest.(check (list cellid)) "full cross product in order" expected
+    (List.map tuple cells)
+
+let test_sweep_preserves_overrides () =
+  let base =
+    {
+      Experiment.default with
+      k = 4;
+      horizon = 123.0;
+      target_utilization = 1.7;
+      inc_capable_fraction = Some 0.42;
+    }
+  in
+  let cells = Experiment.sweep base ~schedulers:[ "hire"; "yarn-concurrent" ] ~seeds:[ 1; 2; 3 ] in
+  Alcotest.(check int) "2 x 3 cells" 6 (List.length cells);
+  List.iter
+    (fun (s : Experiment.spec) ->
+      Alcotest.(check int) "k preserved" 4 s.k;
+      Alcotest.(check (float 0.0)) "horizon preserved" 123.0 s.horizon;
+      Alcotest.(check (float 0.0)) "util preserved" 1.7 s.target_utilization;
+      Alcotest.(check (option (float 0.0))) "fraction preserved" (Some 0.42)
+        s.inc_capable_fraction;
+      Alcotest.(check bool) "faults preserved" true (s.faults = None))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Cell identity                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_cell_key_stable () =
+  let a = Experiment.default and b = { Experiment.default with seed = Experiment.default.seed } in
+  Alcotest.(check string) "equal specs hash equal" (Experiment.cell_key a)
+    (Experiment.cell_key b)
+
+let test_cell_key_tracks_every_field () =
+  let base = Experiment.default in
+  let k0 = Experiment.cell_key base in
+  let variants =
+    [
+      ("scheduler", { base with scheduler = "k8-concurrent" });
+      ("mu", { base with mu = base.mu +. 0.125 });
+      ("setup", { base with setup = het });
+      ("k", { base with k = base.k + 2 });
+      ("horizon", { base with horizon = base.horizon +. 1.0 });
+      ("seed", { base with seed = base.seed + 1 });
+      ("util", { base with target_utilization = base.target_utilization +. 0.01 });
+      ("fraction", { base with inc_capable_fraction = Some 0.99 });
+      ("fraction none", { base with inc_capable_fraction = None });
+      ("faults on", { base with faults = Some Faults.default_spec });
+      ( "fault plan",
+        {
+          base with
+          faults =
+            Some
+              {
+                Faults.default_spec with
+                plan = { Faults.Plan.default_config with server_mtbf = 77.0 };
+              };
+        } );
+      ( "fault policy",
+        {
+          base with
+          faults =
+            Some
+              { Faults.default_spec with policy = Faults.Policy.create ~max_retries:7 () };
+        } );
+    ]
+  in
+  List.iter
+    (fun (what, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s changes the key" what)
+        true
+        (Experiment.cell_key s <> k0))
+    variants;
+  (* All variants pairwise distinct, too. *)
+  let keys = k0 :: List.map (fun (_, s) -> Experiment.cell_key s) variants in
+  Alcotest.(check int) "no collisions" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* ------------------------------------------------------------------ *)
+(* Seeds drive distinct streams                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Three-seed cells must produce three genuinely different simulations
+   (trace, scenario, and cluster streams all derive from the seed). *)
+let test_seeds_produce_distinct_streams () =
+  let spec =
+    {
+      Experiment.default with
+      scheduler = "yarn-concurrent";
+      k = 4;
+      horizon = 40.0;
+      target_utilization = 2.0;
+      mu = 0.5;
+    }
+  in
+  let rows =
+    List.map
+      (fun seed ->
+        Sim.Csv_export.row ~scheduler:spec.scheduler ~mu:spec.mu ~setup:spec.setup ~seed
+          (Experiment.run { spec with seed }))
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check int) "three pairwise-distinct result rows" 3
+    (List.length (List.sort_uniq compare rows));
+  (* And re-running a seed reproduces its row exactly. *)
+  let again =
+    Sim.Csv_export.row ~scheduler:spec.scheduler ~mu:spec.mu ~setup:spec.setup ~seed:2
+      (Experiment.run { spec with seed = 2 })
+  in
+  Alcotest.(check string) "same seed reproduces" (List.nth rows 1) again
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "defaults to the base cell" `Quick test_sweep_defaults_to_base;
+          Alcotest.test_case "setup-major enumeration order" `Quick
+            test_sweep_enumeration_order;
+          Alcotest.test_case "preserves { default with ... } overrides" `Quick
+            test_sweep_preserves_overrides;
+        ] );
+      ( "cell_key",
+        [
+          Alcotest.test_case "equal specs hash equal" `Quick test_cell_key_stable;
+          Alcotest.test_case "every field changes the key" `Quick
+            test_cell_key_tracks_every_field;
+        ] );
+      ( "seeds",
+        [
+          Alcotest.test_case "three seeds, three distinct streams" `Slow
+            test_seeds_produce_distinct_streams;
+        ] );
+    ]

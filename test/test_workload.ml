@@ -181,6 +181,73 @@ let test_trace_io_rejects_garbage () =
     (bad true "1,0.0,batch,0,1,1.0,1.0,1.0\n1,5.0,batch,1,1,1.0,1.0,1.0");
   Alcotest.(check bool) "empty" true (Result.is_error (Workload.Trace_io.of_csv ""))
 
+(* ------------------------------------------------------------------ *)
+(* Trace CSV property coverage (QCheck)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [to_csv] prints floats with [%.6f], so exact round-trips need values
+   on a binary-fraction grid that six decimals render exactly: eighths
+   and quarters.  The generator also produces dense ids with
+   non-decreasing arrivals, matching the order [of_csv] normalises to —
+   within that (fully representative) class, round-trip equality is
+   exact structural equality. *)
+let gen_jobs : Job.t list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let grid step lo hi = map (fun n -> float_of_int n *. step) (int_range lo hi) in
+  let gen_group tg_index =
+    map
+      (fun (count, cpu, mem, duration) -> { Job.tg_index; count; cpu; mem; duration })
+      (quad (int_range 1 20) (grid 0.25 1 40) (grid 0.25 1 40) (grid 0.5 2 120))
+  in
+  let gen_proto =
+    let* priority = oneofl [ Job.Batch; Job.Service ] in
+    let* n_groups = int_range 1 4 in
+    let* groups =
+      flatten_l (List.init n_groups (fun i -> gen_group i))
+    in
+    let* delta = grid 0.125 0 64 in
+    return (priority, groups, delta)
+  in
+  let* n = int_range 1 8 in
+  let* protos = flatten_l (List.init n (fun _ -> gen_proto)) in
+  let _, jobs =
+    List.fold_left
+      (fun (arrival, acc) (priority, groups, delta) ->
+        let arrival = arrival +. delta in
+        let id = List.length acc in
+        (arrival, { Job.id; arrival; priority; groups } :: acc))
+      (0.0, []) protos
+  in
+  return (List.rev jobs)
+
+let arbitrary_jobs =
+  QCheck.make gen_jobs ~print:(fun jobs -> Workload.Trace_io.to_csv jobs)
+
+let prop_trace_io_roundtrip =
+  QCheck.Test.make ~name:"of_csv (to_csv jobs) = Ok jobs" ~count:200 arbitrary_jobs
+    (fun jobs -> Workload.Trace_io.of_csv (Workload.Trace_io.to_csv jobs) = Ok jobs)
+
+(* Mangling any single data row must turn the whole parse into a
+   descriptive error, never a silently different trace. *)
+let prop_trace_io_malformed_row =
+  QCheck.Test.make ~name:"malformed rows are rejected" ~count:200
+    QCheck.(pair arbitrary_jobs (int_range 0 1_000_000))
+    (fun (jobs, choice) ->
+      let csv = Workload.Trace_io.to_csv jobs in
+      match String.split_on_char '\n' csv |> List.filter (fun l -> String.trim l <> "") with
+      | header :: (_ :: _ as rows) ->
+          let victim = choice mod List.length rows in
+          let mangle =
+            match choice / List.length rows mod 4 with
+            | 0 -> fun row -> String.sub row 0 (String.rindex row ',') (* drop a field *)
+            | 1 -> fun row -> row ^ ",9"                     (* extra field *)
+            | 2 -> fun row -> "x" ^ row                      (* unparsable job id *)
+            | _ -> fun _ -> "1,-1.0,batch,0,1,1.0,1.0,1.0"   (* negative arrival *)
+          in
+          let rows = List.mapi (fun i r -> if i = victim then mangle r else r) rows in
+          Result.is_error (Workload.Trace_io.of_csv (String.concat "\n" (header :: rows)))
+      | _ -> false)
+
 let test_trace_io_file_roundtrip () =
   let jobs = gen ~horizon:200.0 () in
   let path = Filename.temp_file "hire_trace" ".csv" in
@@ -201,6 +268,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_trace_io_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_trace_io_rejects_garbage;
           Alcotest.test_case "file roundtrip" `Quick test_trace_io_file_roundtrip;
+          QCheck_alcotest.to_alcotest prop_trace_io_roundtrip;
+          QCheck_alcotest.to_alcotest prop_trace_io_malformed_row;
         ] );
       ( "generator",
         [
