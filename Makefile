@@ -11,8 +11,10 @@ test:
 # Tier-1 gate plus smoke-checks that the observability and fault flags
 # are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md), that a
 # small deterministic fault-injected run completes, that bad flags fail
-# fast with a one-line error, and that the parallel sweep runner
-# (docs/RUNNER.md) executes and resumes a tiny sweep.
+# fast with a one-line error, that the parallel sweep runner
+# (docs/RUNNER.md) executes and resumes a tiny sweep, and that a run
+# with an exhausted solver budget degrades along the fallback chain
+# instead of wedging (docs/RESILIENCE.md).
 check:
 	dune build
 	dune runtest
@@ -38,6 +40,9 @@ check:
 		--out /tmp/hire_check_sweep/sweep.csv --quiet --resume \
 		| grep -q '2 cached'
 	rm -rf /tmp/hire_check_sweep
+	dune exec bin/hire_sim.exe -- -s hire -k 4 --horizon 40 --util 2.0 --seeds 1 \
+		--solver-budget 0 --guard 1 \
+		| grep -E 'degraded-rounds=[1-9]' > /dev/null
 	@echo "check: OK"
 
 # odoc is optional in this environment; the lib/obs dune env marks its

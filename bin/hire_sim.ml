@@ -4,7 +4,7 @@
    built from; see bench/main.ml for the full sweep. *)
 
 let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max_retries
-    verbose csv trace obs_summary =
+    solver_budget solver_steps guard verbose csv trace obs_summary =
   if trace <> None || obs_summary then Obs.set_enabled true;
   (match trace with
   | Some path -> (
@@ -39,6 +39,15 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
           policy = Faults.Policy.create ~max_retries ();
         }
   in
+  let resilience =
+    if solver_budget = None && solver_steps = None && guard = 0 then None
+    else
+      let budget =
+        if solver_budget = None && solver_steps = None then None
+        else Some (Flow.Budget.make ?max_wall_s:solver_budget ?max_steps:solver_steps ())
+      in
+      Some (Hire.Hire_scheduler.resilience ?budget ~guard_every:guard ())
+  in
   let spec =
     {
       Harness.Experiment.scheduler;
@@ -50,6 +59,7 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
       target_utilization = util;
       inc_capable_fraction = fraction;
       faults;
+      resilience;
     }
   in
   Printf.printf "scheduler=%s mu=%.2f k=%d horizon=%.0fs setup=%s util=%.2f seeds=[%s]\n%!"
@@ -59,6 +69,14 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
     (String.concat ";" (List.map string_of_int seeds));
   if faults_on then
     Printf.printf "faults: mtbf=%.0fs mttr=%.0fs max-retries=%d\n%!" mtbf mttr max_retries;
+  (match resilience with
+  | None -> ()
+  | Some r ->
+      Printf.printf "resilience: budget=%s guard-every=%d\n%!"
+        (match r.Hire.Hire_scheduler.budget with
+        | None -> "none"
+        | Some b -> Format.asprintf "%a" Flow.Budget.pp b)
+        r.Hire.Hire_scheduler.guard_every);
   let reports = Harness.Experiment.run_seeds spec seeds in
   List.iteri
     (fun i r ->
@@ -79,16 +97,28 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
             (1000.0 *. Obs.Histogram.quantile solver 0.5)
       end)
     reports;
+  (if resilience <> None then
+     let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+     Printf.printf
+       "resilience totals: degraded-rounds=%d fallback-rounds=%d max-depth=%d \
+        guard-trips=%d salvaged=%d\n"
+       (sum (fun r -> r.Sim.Metrics.degraded_rounds))
+       (sum (fun r -> r.Sim.Metrics.fallback_rounds))
+       (List.fold_left (fun acc r -> max acc r.Sim.Metrics.fallback_depth_max) 0 reports)
+       (sum (fun r -> r.Sim.Metrics.guard_trips))
+       (sum (fun r -> r.Sim.Metrics.salvaged_tasks)));
+  let resilience_on = resilience <> None in
   (match csv with
   | None -> ()
   | Some path ->
       let rows =
         List.map2
           (fun seed r ->
-            Sim.Csv_export.row ~faults:faults_on ~scheduler ~mu ~setup ~seed r)
+            Sim.Csv_export.row ~faults:faults_on ~resilience:resilience_on ~scheduler ~mu
+              ~setup ~seed r)
           seeds reports
       in
-      Sim.Csv_export.write_file ~faults:faults_on path rows;
+      Sim.Csv_export.write_file ~faults:faults_on ~resilience:resilience_on path rows;
       Printf.printf "per-seed rows written to %s\n" path);
   let mean f = Harness.Experiment.mean_over f reports in
   Printf.printf
@@ -170,6 +200,31 @@ let max_retries =
   in
   Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc)
 
+let solver_budget =
+  let doc =
+    "Cap each MCMF solve at $(docv) of monotonic wall clock.  An exhausted solve \
+     degrades gracefully: partial SSP flow is salvaged, and the round falls back \
+     along the solver chain down to a greedy placer (docs/RESILIENCE.md).  Only \
+     meaningful for flow-based schedulers."
+  in
+  Arg.(value & opt (some float) None & info [ "solver-budget" ] ~docv:"SECONDS" ~doc)
+
+let solver_steps =
+  let doc =
+    "Cap each MCMF solve at $(docv) solver steps (SSP augmentations; cost-scaling \
+     pushes+relabels), composable with $(b,--solver-budget)."
+  in
+  Arg.(value & opt (some int) None & info [ "solver-steps" ] ~docv:"N" ~doc)
+
+let guard =
+  let doc =
+    "Run the runtime invariant guard on every $(docv)-th solve: re-verify the live \
+     flow from first principles and cross-check extracted placements against the \
+     capacity ledgers; a violation quarantines the solution and re-runs the round on \
+     the next solver backend.  0 disables the guard."
+  in
+  Arg.(value & opt int 0 & info [ "guard" ] ~docv:"N" ~doc)
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-seed latency and solver stats.")
 
@@ -207,7 +262,8 @@ let cmd =
     (Cmd.info "hire_sim" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction
-      $ faults_flag $ mtbf $ mttr $ max_retries $ verbose $ csv $ trace $ obs_summary)
+      $ faults_flag $ mtbf $ mttr $ max_retries $ solver_budget $ solver_steps $ guard
+      $ verbose $ csv $ trace $ obs_summary)
 
 (* [~catch:false] so bad flag values (unknown scheduler/setup) and
    unreadable/unwritable files exit 1 with a one-line error instead of

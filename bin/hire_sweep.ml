@@ -13,7 +13,8 @@ let parse_setup = function
   | other -> failwith (Printf.sprintf "unknown setup %S (homogeneous|heterogeneous)" other)
 
 let sweep jobs resume no_cache cache_dir timeout retries schedulers mus setups seeds k
-    horizon util fraction faults_on mtbf mttr max_retries out quiet =
+    horizon util fraction faults_on mtbf mttr max_retries solver_budget solver_steps
+    guard out quiet =
   List.iter
     (fun s ->
       if not (List.mem s Schedulers.Registry.names) then
@@ -38,6 +39,15 @@ let sweep jobs resume no_cache cache_dir timeout retries schedulers mus setups s
           policy = Faults.Policy.create ~max_retries ();
         }
   in
+  let resilience =
+    if solver_budget = None && solver_steps = None && guard = 0 then None
+    else
+      let budget =
+        if solver_budget = None && solver_steps = None then None
+        else Some (Flow.Budget.make ?max_wall_s:solver_budget ?max_steps:solver_steps ())
+      in
+      Some (Hire.Hire_scheduler.resilience ?budget ~guard_every:guard ())
+  in
   let base =
     {
       Experiment.default with
@@ -46,6 +56,7 @@ let sweep jobs resume no_cache cache_dir timeout retries schedulers mus setups s
       target_utilization = util;
       inc_capable_fraction = fraction;
       faults;
+      resilience;
     }
   in
   let specs = Experiment.sweep base ~schedulers ~mus ~setups ~seeds in
@@ -70,14 +81,14 @@ let sweep jobs resume no_cache cache_dir timeout retries schedulers mus setups s
            match o.result with
            | Ok r ->
                [
-                 Sim.Csv_export.row ~faults:faults_on ~scheduler:s.scheduler ~mu:s.mu
-                   ~setup:s.setup ~seed:s.seed r;
+                 Sim.Csv_export.row ~faults:faults_on ~resilience:(resilience <> None)
+                   ~scheduler:s.scheduler ~mu:s.mu ~setup:s.setup ~seed:s.seed r;
                ]
            | Error _ -> [])
          specs outcomes)
   in
   Runner.Cache.ensure_dir (Filename.dirname out);
-  Sim.Csv_export.write_file ~faults:faults_on out rows;
+  Sim.Csv_export.write_file ~faults:faults_on ~resilience:(resilience <> None) out rows;
   Printf.printf "%s\n" (Format.asprintf "%a" Runner.pp_stats stats);
   Printf.printf "%d row(s) written to %s\n" (List.length rows) out;
   let failures =
@@ -179,6 +190,24 @@ let max_retries =
   let doc = "Requeue attempts per failure-hit task group (with $(b,--faults))." in
   Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc)
 
+let solver_budget =
+  let doc =
+    "Cap each MCMF solve at $(docv) of monotonic wall clock; exhausted solves degrade \
+     along the resilience fallback chain (docs/RESILIENCE.md).  Changes the cells' \
+     cache keys."
+  in
+  Arg.(value & opt (some float) None & info [ "solver-budget" ] ~docv:"SECONDS" ~doc)
+
+let solver_steps =
+  let doc = "Cap each MCMF solve at $(docv) solver steps." in
+  Arg.(value & opt (some int) None & info [ "solver-steps" ] ~docv:"N" ~doc)
+
+let guard =
+  let doc =
+    "Run the runtime invariant guard on every $(docv)-th solve (0 disables it)."
+  in
+  Arg.(value & opt int 0 & info [ "guard" ] ~docv:"N" ~doc)
+
 let out =
   let doc = "CSV output file (one row per cell, enumeration order)." in
   Arg.(value & opt string (Filename.concat "results" "sweep_results.csv")
@@ -209,7 +238,7 @@ let cmd =
     Term.(
       const sweep $ jobs $ resume $ no_cache $ cache_dir $ timeout $ retries $ schedulers
       $ mus $ setups $ seeds $ k $ horizon $ util $ fraction $ faults_flag $ mtbf $ mttr
-      $ max_retries $ out $ quiet)
+      $ max_retries $ solver_budget $ solver_steps $ guard $ out $ quiet)
 
 (* [~catch:false] so bad arguments surface as our one-line error + exit 1
    instead of cmdliner's "internal error" backtrace. *)

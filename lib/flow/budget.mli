@@ -1,0 +1,64 @@
+(** Solve budgets: bounded work for the min-cost max-flow backends.
+
+    A budget caps a single solve by monotonic wall-clock seconds
+    ({!Prelude.Clock}) and/or by solver steps (SSP augmentations;
+    cost-scaling pushes + relabels).  Both backends consult the budget
+    at their natural work boundaries — before each augmentation, at each
+    discharge/phase step — so exhaustion is detected promptly without
+    per-arc overhead.
+
+    On exhaustion the SSP backend stops and returns the partial flow it
+    has built so far, which is a valid min-cost flow {e for its value}
+    (every SSP prefix is; it passes {!Verify.check}) and is flagged
+    [degraded] so callers can salvage it or fall back.  The cost-scaling
+    backend holds only a pseudoflow mid-run, so it aborts cleanly:
+    the graph's flow is reset to zero and the result reports everything
+    unshipped.
+
+    The chaos harness ({!Chaos}) can force exhaustion or handicap the
+    wall clock of a budgeted solve; unbudgeted solves are never touched,
+    so exact-solver tests stay exact even with [HIRE_CHAOS] set. *)
+
+type t = {
+  max_wall_s : float option;  (** monotonic wall-clock cap, seconds *)
+  max_steps : int option;  (** solver-step cap (augmentations / pushes+relabels) *)
+}
+
+(** No cap at all; {!check} never fires. *)
+val unlimited : t
+
+val make : ?max_wall_s:float -> ?max_steps:int -> unit -> t
+val is_unlimited : t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Why a budgeted solve was stopped. *)
+type reason =
+  | Wall_clock of float  (** the wall cap, seconds *)
+  | Steps of int  (** the step cap *)
+  | Chaos  (** {!Chaos} forced exhaustion *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+(** Mutable per-solve accounting; create one with {!start} at the top of
+    each solve. *)
+type state
+
+val start : t -> state
+
+(** [spend st n] records [n] solver steps. *)
+val spend : state -> int -> unit
+
+(** Steps recorded so far. *)
+val steps : state -> int
+
+(** Chaos hook: age the wall clock by [s] seconds (the solve appears to
+    have run that much longer). *)
+val inject_delay : state -> float -> unit
+
+(** Chaos hook: the next {!check} reports {!Chaos}. *)
+val force_exhaustion : state -> unit
+
+(** [check st] is [Some reason] once the budget is exhausted (sticky),
+    [None] while within budget.  Reads the monotonic clock only when a
+    wall cap is actually set. *)
+val check : state -> reason option

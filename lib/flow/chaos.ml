@@ -1,0 +1,79 @@
+module Rng = Prelude.Rng
+
+type t = { rng : Rng.t; seed : int }
+
+(* [None] until the first query, then the resolved state; [activate] and
+   [deactivate] pin it regardless of the environment. *)
+let current : t option ref = ref None
+let resolved = ref false
+
+let activate ~seed =
+  current := Some { rng = Rng.create seed; seed };
+  resolved := true
+
+let deactivate () =
+  current := None;
+  resolved := true
+
+let resolve () =
+  if not !resolved then begin
+    resolved := true;
+    match Sys.getenv_opt "HIRE_CHAOS" with
+    | None | Some "" | Some "0" -> current := None
+    | Some s ->
+        let seed = match int_of_string_opt s with Some n -> n | None -> Hashtbl.hash s in
+        activate ~seed
+  end
+
+let get () =
+  resolve ();
+  !current
+
+let enabled () = get () <> None
+let seed () = Option.map (fun t -> t.seed) (get ())
+
+let count name =
+  if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter name)
+
+let draw_forced_exhaustion () =
+  match get () with
+  | None -> false
+  | Some t ->
+      let hit = Rng.bernoulli t.rng 0.25 in
+      if hit then count "chaos.forced_exhaustions";
+      hit
+
+let draw_delay_s () =
+  match get () with
+  | None -> 0.0
+  | Some t ->
+      if Rng.bernoulli t.rng 0.25 then begin
+        count "chaos.delays";
+        Rng.float t.rng 0.002
+      end
+      else 0.0
+
+let corrupt_solution g =
+  match get () with
+  | None -> None
+  | Some t ->
+      if not (Rng.bernoulli t.rng 0.5) then None
+      else begin
+        (* Only arcs into zero-supply nodes: their balance must be exactly
+           zero, so the ±1 flip always surfaces as a Verify violation
+           (capacity or conservation) instead of hiding in the slack of a
+           partially shipped supply/demand node. *)
+        let cands = ref [] in
+        Graph.iter_arcs g (fun a ->
+            if Graph.flow g a > 0 && Graph.supply g (Graph.dst g a) = 0 then
+              cands := a :: !cands);
+        match !cands with
+        | [] -> None
+        | l ->
+            let arr = Array.of_list l in
+            let a = arr.(Rng.int t.rng (Array.length arr)) in
+            let delta = if Rng.bool t.rng then 1 else -1 in
+            Graph.corrupt_flow g a delta;
+            count "chaos.flow_flips";
+            Some a
+      end

@@ -1,0 +1,58 @@
+(** Seeded chaos harness for the solver-resilience layer
+    (docs/RESILIENCE.md).
+
+    When active, chaos injects three kinds of trouble ahead of the
+    places built to absorb it:
+
+    - {b forced budget exhaustion} — a budgeted solve is randomly told
+      its budget is gone ({!Budget.force_exhaustion}), exercising the
+      degraded/salvage path;
+    - {b artificial solver delay} — a budgeted solve's wall clock is
+      randomly aged ({!Budget.inject_delay}), exercising wall-cap
+      exhaustion without actually sleeping;
+    - {b flow corruption} — one arc of a solved flow is bit-flipped
+      ({!Graph.corrupt_flow}) ahead of the runtime invariant guard,
+      proving that {!Verify.check} catches it and the fallback chain
+      recovers.
+
+    Activation: set the [HIRE_CHAOS] environment variable to a seed
+    (any non-empty value other than ["0"]; non-numeric strings are
+    hashed), or call {!activate} programmatically in tests.  All draws
+    come from one {!Prelude.Rng} stream, so a run is deterministic given
+    the seed and the sequence of injection sites.
+
+    Scope: chaos only ever touches {e budgeted} solves and {e guarded}
+    rounds — code that opted into the resilience layer.  Plain
+    [Mcmf.solve]/[Cost_scaling.solve] calls without a budget are never
+    perturbed, so the exact-solver test suite stays exact under
+    [HIRE_CHAOS=1]. *)
+
+(** [enabled ()] — the harness is active (env knob or {!activate}).
+    The environment is consulted once, lazily. *)
+val enabled : unit -> bool
+
+(** The active seed, if any. *)
+val seed : unit -> int option
+
+(** [activate ~seed] turns chaos on programmatically (tests), replacing
+    any env-derived state. *)
+val activate : seed:int -> unit
+
+(** [deactivate ()] turns chaos off, overriding the environment. *)
+val deactivate : unit -> unit
+
+(** With probability ~1/4, tell a budgeted solve its budget is spent.
+    [false] when chaos is off. *)
+val draw_forced_exhaustion : unit -> bool
+
+(** With probability ~1/4, an artificial delay (seconds) to age a solve's
+    wall budget by; [0.] otherwise or when chaos is off. *)
+val draw_delay_s : unit -> float
+
+(** [corrupt_solution g] flips the flow of one randomly chosen forward
+    arc that carries flow and ends in a zero-supply (internal) node — a
+    corruption {!Verify.check} is guaranteed to catch, since internal
+    nodes must conserve flow exactly.  Performed with probability ~1/2;
+    returns the corrupted arc, or [None] when chaos is off, the draw
+    says no, or no eligible arc exists. *)
+val corrupt_solution : Graph.t -> Graph.arc option

@@ -3,6 +3,8 @@
    c(v,w) + p(v) - p(w) >= -ε.  Costs are multiplied by (n+1) up front so
    that 1-optimality at the end implies true optimality. *)
 
+module Clock = Prelude.Clock
+
 type result = {
   shipped : int;
   unshipped : int;
@@ -11,19 +13,38 @@ type result = {
   pushes : int;
   relabels : int;
   elapsed_s : float;
+  degraded : bool;
   profile : Obs.Solver_profile.t;
 }
 
-let solve ?(alpha = 8) g =
+(* Raised internally when the budget fires mid-phase; the handler resets
+   the graph's flow (a mid-run pseudoflow is not salvageable). *)
+exception Exhausted of Budget.reason
+
+let solve ?(alpha = 8) ?budget g =
   if alpha < 2 then invalid_arg "Cost_scaling.solve: alpha must be >= 2";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
+  let bstate = Option.map Budget.start budget in
+  (match bstate with
+  | Some st when Chaos.enabled () ->
+      if Chaos.draw_forced_exhaustion () then Budget.force_exhaustion st;
+      let d = Chaos.draw_delay_s () in
+      if d > 0.0 then Budget.inject_delay st d
+  | _ -> ());
+  let check_budget () =
+    match bstate with
+    | None -> ()
+    | Some st -> (
+        match Budget.check st with None -> () | Some reason -> raise (Exhausted reason))
+  in
+  let spend_step () = match bstate with Some st -> Budget.spend st 1 | None -> () in
   let instrument = Obs.enabled () in
   let t_saturate = ref 0.0 and t_discharge = ref 0.0 in
   let staged acc f =
     if instrument then begin
-      let s0 = Unix.gettimeofday () in
+      let s0 = Clock.now () in
       let r = f () in
-      acc := !acc +. (Unix.gettimeofday () -. s0);
+      acc := !acc +. (Clock.now () -. s0);
       r
     end
     else f ()
@@ -31,7 +52,8 @@ let solve ?(alpha = 8) g =
   let n0 = Graph.node_count g in
   if n0 = 0 then
     { shipped = 0; unshipped = 0; total_cost = 0; phases = 0; pushes = 0; relabels = 0;
-      elapsed_s = 0.0; profile = Obs.Solver_profile.zero ~solver:"cost-scaling" }
+      elapsed_s = 0.0; degraded = false;
+      profile = Obs.Solver_profile.zero ~solver:"cost-scaling" }
   else begin
     (* Find the cost bound before adding artificial arcs. *)
     let max_abs_cost = ref 1 in
@@ -69,6 +91,7 @@ let solve ?(alpha = 8) g =
     let push v a amount =
       Graph.push g a amount;
       incr pushes;
+      spend_step ();
       let w = Graph.dst g a in
       excess.(v) <- excess.(v) - amount;
       excess.(w) <- excess.(w) + amount;
@@ -78,6 +101,7 @@ let solve ?(alpha = 8) g =
       (* Push over admissible arcs; relabel when stuck. *)
       let continue_ = ref true in
       while excess.(v) > 0 && !continue_ do
+        check_budget ();
         let progressed = ref false in
         Graph.iter_out g v (fun a ->
             if excess.(v) > 0 && Graph.residual_cap g a > 0 && reduced v a < 0 then begin
@@ -96,44 +120,68 @@ let solve ?(alpha = 8) g =
           if !best = min_int then continue_ := false (* isolated; impossible with artificials *)
           else begin
             price.(v) <- !best - !eps;
-            incr relabels
+            incr relabels;
+            spend_step ()
           end
         end
       done
     in
-    let running = ref true in
-    while !running do
-      incr phases;
-      (* Restore ε-optimality for the smaller ε by saturating every
-         negative-reduced-cost arc. *)
-      staged t_saturate (fun () ->
-          Graph.iter_arcs g (fun a ->
-              let v = Graph.src g a in
-              if Graph.residual_cap g a > 0 && reduced v a < 0 then
-                push v a (Graph.residual_cap g a);
-              let r = Graph.rev a in
-              let w = Graph.dst g a in
-              if Graph.residual_cap g r > 0 && reduced w r < 0 then
-                push w r (Graph.residual_cap g r));
-          for v = 0 to n - 1 do
-            activate v
-          done);
-      staged t_discharge (fun () ->
-          while not (Queue.is_empty queue) do
-            let v = Queue.pop queue in
-            in_queue.(v) <- false;
-            discharge v
-          done);
-      if !eps <= 1 then running := false else eps := max 1 ((!eps + alpha - 1) / alpha)
-    done;
+    let exhausted = ref None in
+    (try
+       let running = ref true in
+       while !running do
+         incr phases;
+         check_budget ();
+         (* Restore ε-optimality for the smaller ε by saturating every
+            negative-reduced-cost arc. *)
+         staged t_saturate (fun () ->
+             Graph.iter_arcs g (fun a ->
+                 let v = Graph.src g a in
+                 if Graph.residual_cap g a > 0 && reduced v a < 0 then
+                   push v a (Graph.residual_cap g a);
+                 let r = Graph.rev a in
+                 let w = Graph.dst g a in
+                 if Graph.residual_cap g r > 0 && reduced w r < 0 then
+                   push w r (Graph.residual_cap g r));
+             for v = 0 to n - 1 do
+               activate v
+             done);
+         staged t_discharge (fun () ->
+             while not (Queue.is_empty queue) do
+               let v = Queue.pop queue in
+               in_queue.(v) <- false;
+               discharge v
+             done);
+         if !eps <= 1 then running := false else eps := max 1 ((!eps + alpha - 1) / alpha)
+       done
+     with Exhausted reason ->
+       (* A mid-run pseudoflow violates conservation and is worthless to
+          callers; abort cleanly to the zero flow. *)
+       Graph.reset_flow g;
+       exhausted := Some reason);
+    let degraded = !exhausted <> None in
+    if degraded && Obs.enabled () then begin
+      Obs.Registry.incr (Obs.Registry.counter "flow.budget_exhausted");
+      Obs.Trace.emit "solver_degraded"
+        [
+          ("solver", Obs.Trace.Str "cost-scaling");
+          ( "reason",
+            Obs.Trace.Str (Format.asprintf "%a" Budget.pp_reason (Option.get !exhausted)) );
+          ("shipped", Obs.Trace.Int 0);
+        ]
+    end;
     (* Account artificial flow as unshipped and neutralize its cost;
        each artificially-routed unit crosses one supply-side and one
-       demand-side artificial arc. *)
-    let unshipped = List.fold_left (fun acc a -> acc + Graph.flow g a) 0 !art_out in
+       demand-side artificial arc.  After an abort all flows are zero,
+       so everything counts as unshipped. *)
+    let unshipped =
+      if degraded then total_supply
+      else List.fold_left (fun acc a -> acc + Graph.flow g a) 0 !art_out
+    in
     let artificial_cost =
       List.fold_left (fun acc a -> acc + (Graph.flow g a * big)) 0 (!art_out @ !art_in)
     in
-    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let elapsed_s = Clock.now () -. t0 in
     let profile =
       {
         (Obs.Solver_profile.zero ~solver:"cost-scaling") with
@@ -156,6 +204,7 @@ let solve ?(alpha = 8) g =
       pushes = !pushes;
       relabels = !relabels;
       elapsed_s;
+      degraded;
       profile;
     }
   end

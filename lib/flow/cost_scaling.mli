@@ -21,12 +21,21 @@ type result = {
   phases : int;  (** ε-scaling phases executed *)
   pushes : int;
   relabels : int;
-  elapsed_s : float;
+  elapsed_s : float;  (** monotonic wall-clock solve time ({!Prelude.Clock}) *)
+  degraded : bool;
+      (** the solve was stopped by its {!Budget} before completing.
+          Unlike SSP, a cost-scaling run holds only a pseudoflow mid-run
+          — nothing salvageable — so the abort resets the graph to the
+          zero flow and reports everything unshipped. *)
   profile : Obs.Solver_profile.t;
       (** structured solve profile; per-stage timings are populated only
           when [Obs.enabled ()] held during the solve *)
 }
 
-(** [solve ?alpha g] runs cost scaling with scale factor [alpha]
-    (default 8).  Arc flows of [g] are left at the optimum. *)
-val solve : ?alpha:int -> Graph.t -> result
+(** [solve ?alpha ?budget g] runs cost scaling with scale factor [alpha]
+    (default 8).  Arc flows of [g] are left at the optimum.  [budget]
+    bounds the solve (checked at phase and discharge boundaries; pushes
+    and relabels are the step currency); on exhaustion the flow is reset
+    to zero and the result is flagged [degraded].  Without a budget the
+    chaos harness never touches the solve. *)
+val solve : ?alpha:int -> ?budget:Budget.t -> Graph.t -> result

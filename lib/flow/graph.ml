@@ -130,6 +130,11 @@ let push t a amount =
   t.cap.(a) <- t.cap.(a) - amount;
   t.cap.(rev a) <- t.cap.(rev a) + amount
 
+let corrupt_flow t a delta =
+  if not (is_forward a) then invalid_arg "Graph.corrupt_flow: not a forward arc";
+  t.cap.(a) <- t.cap.(a) - delta;
+  t.cap.(rev a) <- t.cap.(rev a) + delta
+
 let iter_out t v f =
   check_node t v "iter_out";
   let a = ref t.head.(v) in

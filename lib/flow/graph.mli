@@ -60,6 +60,15 @@ val is_forward : arc -> bool
     @raise Invalid_argument if [amount] exceeds the residual capacity. *)
 val push : t -> arc -> int -> unit
 
+(** Fault-injection hook: [corrupt_flow t a delta] shifts the recorded
+    flow of forward arc [a] by [delta] {e without any validation} —
+    residual capacities may go negative and conservation is deliberately
+    broken at both endpoints.  Exists solely so the chaos harness
+    ({!Chaos}) can hand {!Verify.check} a corrupted solution; never use
+    it to build flows.
+    @raise Invalid_argument if [a] is not a forward arc. *)
+val corrupt_flow : t -> arc -> int -> unit
+
 (** [iter_out t v f] applies [f] to every residual arc (forward and
     reverse) leaving [v]. *)
 val iter_out : t -> int -> (arc -> unit) -> unit

@@ -1,4 +1,5 @@
 module Heap = Prelude.Heap
+module Clock = Prelude.Clock
 
 type result = {
   shipped : int;
@@ -6,6 +7,7 @@ type result = {
   total_cost : int;
   augmentations : int;
   elapsed_s : float;
+  degraded : bool;
   profile : Obs.Solver_profile.t;
 }
 
@@ -76,15 +78,24 @@ let dijkstra g excess pot dist parent =
           end)
   done
 
-let solve g =
-  let t0 = Unix.gettimeofday () in
+let solve ?budget g =
+  let t0 = Clock.now () in
+  let bstate = Option.map Budget.start budget in
+  (* Chaos only ever perturbs budgeted solves: an unbudgeted caller has
+     no degraded path to absorb it. *)
+  (match bstate with
+  | Some st when Chaos.enabled () ->
+      if Chaos.draw_forced_exhaustion () then Budget.force_exhaustion st;
+      let d = Chaos.draw_delay_s () in
+      if d > 0.0 then Budget.inject_delay st d
+  | _ -> ());
   let instrument = Obs.enabled () in
   let t_spfa = ref 0.0 and t_dijkstra = ref 0.0 and t_augment = ref 0.0 in
   let staged acc f =
     if instrument then begin
-      let s0 = Unix.gettimeofday () in
+      let s0 = Clock.now () in
       let r = f () in
-      acc := !acc +. (Unix.gettimeofday () -. s0);
+      acc := !acc +. (Clock.now () -. s0);
       r
     end
     else f ()
@@ -112,47 +123,76 @@ let solve g =
     done;
     !acc
   in
+  let exhausted = ref None in
+  let within_budget () =
+    match bstate with
+    | None -> true
+    | Some st -> (
+        match Budget.check st with
+        | None -> true
+        | Some reason ->
+            exhausted := Some reason;
+            false)
+  in
   let continue_ = ref (remaining_supply () > 0) in
   while !continue_ do
-    staged t_dijkstra (fun () -> dijkstra g excess pot dist parent);
-    (* Nearest reachable deficit node. *)
-    let best = ref (-1) in
-    for v = 0 to n - 1 do
-      if excess.(v) < 0 && dist.(v) < infinity_dist then
-        if !best < 0 || dist.(v) < dist.(!best) then best := v
-    done;
-    match !best with
-    | -1 -> continue_ := false
-    | target ->
-        staged t_augment (fun () ->
-            (* Bottleneck along the path back to whichever source started it. *)
-            let bottleneck = ref (-excess.(target)) in
-            let v = ref target in
-            while parent.(!v) >= 0 do
-              let a = parent.(!v) in
-              if Graph.residual_cap g a < !bottleneck then bottleneck := Graph.residual_cap g a;
-              v := Graph.src g a
-            done;
-            let source = !v in
-            if excess.(source) < !bottleneck then bottleneck := excess.(source);
-            let amount = !bottleneck in
-            let v = ref target in
-            while parent.(!v) >= 0 do
-              let a = parent.(!v) in
-              Graph.push g a amount;
-              v := Graph.src g a
-            done;
-            excess.(source) <- excess.(source) - amount;
-            excess.(target) <- excess.(target) + amount;
-            shipped := !shipped + amount;
-            incr augmentations;
-            (* Johnson potential update keeps reduced costs non-negative. *)
-            for u = 0 to n - 1 do
-              if dist.(u) < infinity_dist then pot.(u) <- pot.(u) + dist.(u)
-            done;
-            if remaining_supply () = 0 then continue_ := false)
+    (* Budget checked at augmentation boundaries: an SSP prefix is a
+       valid min-cost flow for its value, so stopping here leaves a
+       salvageable partial solution on the graph. *)
+    if not (within_budget ()) then continue_ := false
+    else begin
+      staged t_dijkstra (fun () -> dijkstra g excess pot dist parent);
+      (* Nearest reachable deficit node. *)
+      let best = ref (-1) in
+      for v = 0 to n - 1 do
+        if excess.(v) < 0 && dist.(v) < infinity_dist then
+          if !best < 0 || dist.(v) < dist.(!best) then best := v
+      done;
+      match !best with
+      | -1 -> continue_ := false
+      | target ->
+          staged t_augment (fun () ->
+              (* Bottleneck along the path back to whichever source started it. *)
+              let bottleneck = ref (-excess.(target)) in
+              let v = ref target in
+              while parent.(!v) >= 0 do
+                let a = parent.(!v) in
+                if Graph.residual_cap g a < !bottleneck then bottleneck := Graph.residual_cap g a;
+                v := Graph.src g a
+              done;
+              let source = !v in
+              if excess.(source) < !bottleneck then bottleneck := excess.(source);
+              let amount = !bottleneck in
+              let v = ref target in
+              while parent.(!v) >= 0 do
+                let a = parent.(!v) in
+                Graph.push g a amount;
+                v := Graph.src g a
+              done;
+              excess.(source) <- excess.(source) - amount;
+              excess.(target) <- excess.(target) + amount;
+              shipped := !shipped + amount;
+              incr augmentations;
+              (match bstate with Some st -> Budget.spend st 1 | None -> ());
+              (* Johnson potential update keeps reduced costs non-negative. *)
+              for u = 0 to n - 1 do
+                if dist.(u) < infinity_dist then pot.(u) <- pot.(u) + dist.(u)
+              done;
+              if remaining_supply () = 0 then continue_ := false)
+    end
   done;
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let degraded = !exhausted <> None in
+  if degraded && Obs.enabled () then begin
+    Obs.Registry.incr (Obs.Registry.counter "flow.budget_exhausted");
+    Obs.Trace.emit "solver_degraded"
+      [
+        ("solver", Obs.Trace.Str "ssp");
+        ( "reason",
+          Obs.Trace.Str (Format.asprintf "%a" Budget.pp_reason (Option.get !exhausted)) );
+        ("shipped", Obs.Trace.Int !shipped);
+      ]
+  end;
+  let elapsed_s = Clock.now () -. t0 in
   let profile =
     {
       (Obs.Solver_profile.zero ~solver:"ssp") with
@@ -173,6 +213,7 @@ let solve g =
     total_cost = Graph.flow_cost g;
     augmentations = !augmentations;
     elapsed_s;
+    degraded;
     profile;
   }
 

@@ -28,15 +28,25 @@ type result = {
   unshipped : int;  (** supply that could not reach any demand *)
   total_cost : int;  (** cost of the final flow *)
   augmentations : int;  (** number of augmenting paths used *)
-  elapsed_s : float;  (** wall-clock solve time *)
+  elapsed_s : float;  (** monotonic wall-clock solve time ({!Prelude.Clock}) *)
+  degraded : bool;
+      (** the solve was stopped by its {!Budget} (or a {!Chaos}-forced
+          exhaustion) before completing.  The flow left on the graph is
+          still a valid min-cost flow for its (partial) value — every
+          SSP prefix is — and passes {!Verify.check}; [unshipped] counts
+          what the budget left behind. *)
   profile : Obs.Solver_profile.t;
       (** structured solve profile; per-stage timings are populated only
           when [Obs.enabled ()] held during the solve *)
 }
 
-(** [solve g] computes a min-cost max-flow on [g], mutating arc flows in
-    place.  Supplies/demands are read from the graph's node supplies. *)
-val solve : Graph.t -> result
+(** [solve ?budget g] computes a min-cost max-flow on [g], mutating arc
+    flows in place.  Supplies/demands are read from the graph's node
+    supplies.  [budget] bounds the solve (checked before every
+    augmentation); without one the solve runs to completion and
+    [degraded] is always [false] — and the chaos harness never touches
+    the solve. *)
+val solve : ?budget:Budget.t -> Graph.t -> result
 
 (** A single decomposed flow path: node sequence from a supply node to a
     demand node, and the amount carried. *)

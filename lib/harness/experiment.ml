@@ -10,6 +10,7 @@ type spec = {
   target_utilization : float;
   inc_capable_fraction : float option;
   faults : Faults.spec option;
+  resilience : Hire.Hire_scheduler.resilience option;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     target_utilization = 0.80;
     inc_capable_fraction = Some 0.15;
     faults = None;
+    resilience = None;
   }
 
 let run spec =
@@ -47,7 +49,10 @@ let run spec =
   in
   let jobs = Workload.Trace_gen.generate trace_config trace_rng ~horizon:spec.horizon in
   let scenario = Sim.Scenario.build store scenario_rng ~mu:spec.mu jobs in
-  let sched = Schedulers.Registry.create spec.scheduler ~seed:spec.seed cluster in
+  let sched =
+    Schedulers.Registry.create ?resilience:spec.resilience spec.scheduler ~seed:spec.seed
+      cluster
+  in
   let faults_plan =
     Option.map
       (fun (fs : Faults.spec) ->
@@ -96,6 +101,7 @@ let describe spec =
     (Sim.Cluster.inc_setup_to_string spec.setup)
     spec.k spec.seed
     (match spec.faults with None -> "" | Some _ -> " +faults")
+    ^ match spec.resilience with None -> "" | Some _ -> " +resilience"
 
 (* Bump when the meaning of a cell changes without its spec changing
    (simulator semantics, trace generator, metrics definitions, ...) so
@@ -124,4 +130,19 @@ let cell_key spec =
       addf "|faults=mtbf:%h,%h;mttr:%h,%h;w:%h;retries:%d;backoff:%h;mult:%h"
         plan.Faults.Plan.server_mtbf plan.switch_mtbf plan.server_mttr plan.switch_mttr
         plan.inc_weight policy.Faults.Policy.max_retries policy.backoff policy.multiplier);
+  (* Appended only when set, so cells of resilience-free sweeps keep
+     their pre-resilience keys and cached results stay valid. *)
+  (match spec.resilience with
+  | None -> ()
+  | Some { Hire.Hire_scheduler.budget; guard_every } ->
+      let wall, steps =
+        match budget with
+        | None -> ("none", "none")
+        | Some { Flow.Budget.max_wall_s; max_steps } ->
+            ( (match max_wall_s with
+              | None -> "none"
+              | Some s -> Printf.sprintf "%h" s),
+              match max_steps with None -> "none" | Some n -> string_of_int n )
+      in
+      addf "|resilience=wall:%s;steps:%s;guard:%d" wall steps guard_every);
   Digest.to_hex (Digest.string (Buffer.contents b))

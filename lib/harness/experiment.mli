@@ -23,6 +23,11 @@ type spec = {
           scenario, and the cluster are identical with faults on or
           off).  [None] (the default) reproduces the fault-free
           simulator byte for byte. *)
+  resilience : Hire.Hire_scheduler.resilience option;
+      (** solver-resilience policy for flow-based schedulers
+          (docs/RESILIENCE.md); [None] (the default) keeps the legacy
+          single-unbounded-solve behaviour and the cell's pre-resilience
+          cache key *)
 }
 
 val default : spec

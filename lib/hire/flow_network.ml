@@ -506,27 +506,34 @@ type outcome = {
 
 type solver = Ssp | Cost_scaling
 
-let solve_and_extract ?(solver = Ssp) t =
-  let solver =
-    match solver with
-    | Ssp -> Mcmf.solve t.graph
-    | Cost_scaling ->
-        let r = Flow.Cost_scaling.solve t.graph in
-        {
-          Mcmf.shipped = r.Flow.Cost_scaling.shipped;
-          unshipped = r.Flow.Cost_scaling.unshipped;
-          total_cost = r.Flow.Cost_scaling.total_cost;
-          augmentations = r.Flow.Cost_scaling.pushes;
-          elapsed_s = r.Flow.Cost_scaling.elapsed_s;
-          profile = r.Flow.Cost_scaling.profile;
-        }
-  in
-  let extract_t0 = if Obs.enabled () then Obs.now_wall () else 0.0 in
+let solver_name = function Ssp -> "ssp" | Cost_scaling -> "cost-scaling"
+
+let solve_only ?(solver = Ssp) ?budget t =
+  match solver with
+  | Ssp -> Mcmf.solve ?budget t.graph
+  | Cost_scaling ->
+      let r = Flow.Cost_scaling.solve ?budget t.graph in
+      {
+        Mcmf.shipped = r.Flow.Cost_scaling.shipped;
+        unshipped = r.Flow.Cost_scaling.unshipped;
+        total_cost = r.Flow.Cost_scaling.total_cost;
+        augmentations = r.Flow.Cost_scaling.pushes;
+        elapsed_s = r.Flow.Cost_scaling.elapsed_s;
+        degraded = r.Flow.Cost_scaling.degraded;
+        profile = r.Flow.Cost_scaling.profile;
+      }
+
+let extract t ~solver =
+  let extract_t0 = if Obs.enabled () then Prelude.Clock.now () else 0.0 in
   let paths = Mcmf.decompose t.graph in
   let placements = ref [] and flavor_picks = ref [] in
   List.iter
     (fun (p : Mcmf.path) ->
-      let roles_on_path = List.map (role t) p.nodes in
+      (* Nodes without a role are skipped rather than fatal: the
+         cost-scaling backend leaves its virtual feasibility node in the
+         graph, and a budget-exhausted partial flow may route through
+         it. *)
+      let roles_on_path = List.filter_map (Hashtbl.find_opt t.roles) p.nodes in
       let group = List.find_opt (function Group _ -> true | _ -> false) roles_on_path in
       let flavor = List.find_opt (function Flavor_sel _ -> true | _ -> false) roles_on_path in
       let machine =
@@ -553,6 +560,10 @@ let solve_and_extract ?(solver = Ssp) t =
         ("paths", Obs.Trace.Int (List.length paths));
         ("placements", Obs.Trace.Int (List.length !placements));
         ("flavor_picks", Obs.Trace.Int (List.length !flavor_picks));
-        ("extract_s", Obs.Trace.Float (Obs.now_wall () -. extract_t0));
+        ("extract_s", Obs.Trace.Float (Prelude.Clock.now () -. extract_t0));
       ];
   { placements = List.rev !placements; flavor_picks = List.rev !flavor_picks; solver }
+
+let solve_and_extract ?solver ?budget t =
+  let solver = solve_only ?solver ?budget t in
+  extract t ~solver

@@ -68,6 +68,22 @@ type outcome = {
     races several solvers; both produce flows of identical cost). *)
 type solver = Ssp | Cost_scaling
 
+val solver_name : solver -> string
+
+(** [solve_only ?solver ?budget t] runs the MCMF solve, leaving the flow
+    on the graph, without extracting decisions.  With [budget] the solve
+    is bounded ({!Flow.Budget}); a degraded SSP result leaves a valid
+    partial flow, a degraded cost-scaling result leaves the zero flow.
+    Splitting solve from extraction lets the resilience layer run the
+    invariant guard (and the chaos harness) on the raw flow before any
+    decision is read off it. *)
+val solve_only : ?solver:solver -> ?budget:Flow.Budget.t -> t -> Flow.Mcmf.result
+
+(** [extract t ~solver] reads scheduling decisions off the flow
+    decomposition of [t]'s graph.  Nodes unknown to the network (e.g.
+    cost-scaling's virtual feasibility node) are skipped. *)
+val extract : t -> solver:Flow.Mcmf.result -> outcome
+
 (** Solve the MCMF instance and read scheduling decisions back off the
-    flow decomposition. *)
-val solve_and_extract : ?solver:solver -> t -> outcome
+    flow decomposition: [extract t ~solver:(solve_only ?solver ?budget t)]. *)
+val solve_and_extract : ?solver:solver -> ?budget:Flow.Budget.t -> t -> outcome

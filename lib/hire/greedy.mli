@@ -1,0 +1,29 @@
+(** Greedy best-effort placer: the last rung of the solver fallback
+    chain (docs/RESILIENCE.md).
+
+    When both MCMF backends exhaust their budgets (or are quarantined by
+    the invariant guard), the round still has to terminate with whatever
+    progress is cheap to compute.  This placer walks pending jobs FIFO
+    by arrival — the same selection order and [max_queue_tgs] bound as
+    {!Flow_network.build} — and first-fit places tasks of {e
+    materialized} groups only, one machine scan per task:
+
+    - server groups go to the first alive server (in id order) whose
+      remaining resources fit the demand;
+    - network groups go to the first supporting switch that passes
+      {!Sharing.can_place} under the same sharing/shape rules as the
+      flow network's shortcut arcs;
+    - like the flow network's M→K capacity-1 arcs, a machine accepts at
+      most one new task per round, and a network group never reuses a
+      switch it already occupies.
+
+    It never makes flavor decisions (undecided groups wait for a
+    healthy flow round) and ignores all cost terms — placements are
+    feasible but deliberately quality-blind, which is the right trade
+    when the alternative is a wedged scheduler. *)
+
+(** [place view ~jobs ~params] returns [(tg_id, machine)] pairs, one per
+    placed task, in deterministic order.  The caller applies them
+    exactly like {!Flow_network.outcome} placements. *)
+val place :
+  View.t -> jobs:Pending.job_state list -> params:Cost_model.params -> (int * int) list

@@ -1,11 +1,26 @@
+module Clock = Prelude.Clock
+
+type resilience = {
+  budget : Flow.Budget.t option;
+  guard_every : int;
+}
+
+let resilience ?budget ?(guard_every = 0) () = { budget; guard_every }
+
 type config = {
   params : Cost_model.params;
   simple_flavor : bool;
   solver : Flow_network.solver;
+  resilience : resilience option;
 }
 
 let default_config =
-  { params = Cost_model.default_params; simple_flavor = false; solver = Flow_network.Ssp }
+  {
+    params = Cost_model.default_params;
+    simple_flavor = false;
+    solver = Flow_network.Ssp;
+    resilience = None;
+  }
 
 type t = {
   view : View.t;
@@ -13,6 +28,7 @@ type t = {
   jobs : (int, Pending.job_state) Hashtbl.t;
   census : Locality.Task_census.t;
   mutable order : int list;  (* job ids, newest first; kept for determinism *)
+  mutable solves : int;  (* lifetime solve attempts, drives guard sampling *)
 }
 
 let create ?(config = default_config) view =
@@ -22,6 +38,7 @@ let create ?(config = default_config) view =
     jobs = Hashtbl.create 64;
     census = Locality.Task_census.create view.View.topo;
     order = [];
+    solves = 0;
   }
 
 let name t = if t.config.simple_flavor then "hire-simple" else "hire"
@@ -40,6 +57,13 @@ let pending_work t =
 
 let pending_jobs t = Hashtbl.length t.jobs
 
+type round_resilience = {
+  degraded : bool;
+  fallback_depth : int;
+  guard_trips : int;
+  salvaged : int;
+}
+
 type round_outcome = {
   placements : (Poly_req.task_group * int) list;
   cancelled : Poly_req.task_group list;
@@ -48,6 +72,7 @@ type round_outcome = {
   solver : Flow.Mcmf.result option;
   graph_nodes : int;
   graph_arcs : int;
+  resilience : round_resilience option;
 }
 
 (* In simple-flavor mode a single decision fixes the whole job: every
@@ -122,8 +147,156 @@ let inc_still_feasible t (job : Pending.job_state) =
              List.length (List.filter (fun s -> not (List.mem s ts.placed_on)) eligible)
              >= ts.remaining)
 
+(* Apply the round's flavor picks so the picked groups materialize;
+   records decisions and dropped groups. *)
+let apply_flavor_picks t ~flavor_picks ~cancelled ~decisions =
+  List.iter
+    (fun (job_id, tg_id) ->
+      match Hashtbl.find_opt t.jobs job_id with
+      | None -> ()
+      | Some job -> (
+          match Pending.find_tg job tg_id with
+          | None -> ()
+          | Some ts ->
+              if Pending.status job ts = Flavor.Undecided then begin
+                decisions := (job_id, Poly_req.is_network ts.tg) :: !decisions;
+                if Obs.enabled () then
+                  Obs.Trace.emit "flavor_decision"
+                    [
+                      ("job", Obs.Trace.Int job_id);
+                      ("inc", Obs.Trace.Bool (Poly_req.is_network ts.tg));
+                    ];
+                let dropped = Pending.decide job ts in
+                cancelled := !cancelled @ List.map (fun d -> d.Pending.tg) dropped;
+                if t.config.simple_flavor then begin
+                  let dropped' = propagate_simple job (Poly_req.is_network ts.tg) in
+                  cancelled := !cancelled @ List.map (fun d -> d.Pending.tg) dropped'
+                end
+              end))
+    flavor_picks
+
+(* Record raw (tg_id, machine) placements against pending state and the
+   locality census; returns the applied (task_group, machine) pairs. *)
+let apply_placements t raw =
+  List.filter_map
+    (fun (tg_id, machine) ->
+      let found =
+        Hashtbl.fold
+          (fun _ job acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match Pending.find_tg job tg_id with
+                | Some ts
+                  when Pending.status job ts = Flavor.Materialized
+                       && ts.Pending.remaining > 0 ->
+                    Some (job, ts)
+                | _ -> None))
+          t.jobs None
+      in
+      match found with
+      | None -> None
+      | Some (job, ts) ->
+          Pending.place job ts ~machine;
+          Locality.Task_census.add t.census ~tg_id ~machine;
+          Some (ts.Pending.tg, machine))
+    raw
+
+(* Lenient resolution of raw placements for the guard's ledger
+   cross-check: flavor picks have not been applied yet at guard time, so
+   group status is ignored — only groups with work left resolve. *)
+let resolve_for_guard t raw =
+  List.filter_map
+    (fun (tg_id, machine) ->
+      let found =
+        Hashtbl.fold
+          (fun _ job acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match Pending.find_tg job tg_id with
+                | Some ts when ts.Pending.remaining > 0 -> Some ts
+                | _ -> None))
+          t.jobs None
+      in
+      Option.map (fun ts -> (ts, machine)) found)
+    raw
+
+let other_backend = function
+  | Flow_network.Ssp -> Flow_network.Cost_scaling
+  | Flow_network.Cost_scaling -> Flow_network.Ssp
+
+(* One rung of the fallback chain: build a fresh network (a previous
+   cost-scaling attempt leaves its virtual feasibility node behind, so
+   networks are never reused across attempts), solve under the budget,
+   optionally corrupt (chaos) and guard the live solution.  [`Accept]
+   carries the extracted outcome; [`Reject] advances the chain. *)
+let attempt_backend t ~jobs ~time ~params (r : resilience) ~backend ~trips =
+  let net = Flow_network.build t.view t.census ~jobs ~now:time ~params in
+  let size = Flow_network.size net in
+  t.solves <- t.solves + 1;
+  let solver = Flow_network.solve_only ~solver:backend ?budget:r.budget net in
+  if solver.Flow.Mcmf.degraded && solver.Flow.Mcmf.shipped = 0 then begin
+    (* Nothing salvageable (cost-scaling aborts to the zero flow; SSP
+       ran out before the first augmentation): fall through. *)
+    if Obs.enabled () then
+      Obs.Registry.incr (Obs.Registry.counter "hire.resilience.budget_exhausted");
+    `Reject (solver, size)
+  end
+  else begin
+    let guard_due = r.guard_every > 0 && t.solves mod r.guard_every = 0 in
+    if not guard_due then `Accept (Flow_network.extract net ~solver, solver, size)
+    else begin
+      if Obs.enabled () then
+        Obs.Registry.incr (Obs.Registry.counter "hire.resilience.guard_checks");
+      (* Chaos sits between the solver and the guard: a seeded bit-flip
+         on the live flow that the guard must catch. *)
+      if Flow.Chaos.enabled () then
+        ignore (Flow.Chaos.corrupt_solution (Flow_network.graph net));
+      let verdict =
+        match Guard.check_flow (Flow_network.graph net) with
+        | Error v -> Error v
+        | Ok () ->
+            (* Only a flow-valid graph is decomposed: extraction walks
+               the flow, which a corrupted graph could send astray. *)
+            let outcome = Flow_network.extract net ~solver in
+            let resolved = resolve_for_guard t outcome.Flow_network.placements in
+            Result.map (fun () -> outcome)
+              (Guard.check_placements t.view ~params ~placements:resolved)
+      in
+      match verdict with
+      | Ok outcome -> `Accept (outcome, solver, size)
+      | Error v ->
+          incr trips;
+          let msg = Format.asprintf "%a" Guard.pp_violation v in
+          Printf.eprintf
+            "hire: invariant guard trip on %s (solve #%d): %s — quarantining solution\n%!"
+            (Flow_network.solver_name backend)
+            t.solves msg;
+          if Obs.enabled () then begin
+            Obs.Registry.incr (Obs.Registry.counter "hire.resilience.guard_trips");
+            Obs.Trace.emit "guard_trip"
+              [
+                ("solver", Obs.Trace.Str (Flow_network.solver_name backend));
+                ("violation", Obs.Trace.Str msg);
+              ]
+          end;
+          `Reject (solver, size)
+    end
+  end
+
+(* Total tasks the greedy rung could in principle still place — the
+   denominator of its salvage ratio. *)
+let total_materialized_remaining jobs =
+  List.fold_left
+    (fun acc job ->
+      List.fold_left
+        (fun acc (ts : Pending.tg_state) -> acc + ts.Pending.remaining)
+        acc (Pending.materialized job))
+    0 jobs
+
 let run_round t ~time =
-  let round_t0 = if Obs.enabled () then Obs.now_wall () else 0.0 in
+  let round_t0 = if Obs.enabled () then Clock.now () else 0.0 in
   if Obs.enabled () then begin
     Obs.Trace.emit "round_start"
       [
@@ -155,7 +328,7 @@ let run_round t ~time =
     (job_list t);
   let emit_round_end (o : round_outcome) =
     if Obs.enabled () then begin
-      let round_s = Obs.now_wall () -. round_t0 in
+      let round_s = Clock.now () -. round_t0 in
       Obs.Trace.emit "round_end"
         [
           ("placements", Obs.Trace.Int (List.length o.placements));
@@ -174,6 +347,11 @@ let run_round t ~time =
     end;
     o
   in
+  let empty_resilience =
+    Option.map
+      (fun _ -> { degraded = false; fallback_depth = 0; guard_trips = 0; salvaged = 0 })
+      t.config.resilience
+  in
   let jobs = job_list t in
   if not (List.exists Pending.has_pending_work jobs) then begin
     cleanup t;
@@ -186,83 +364,120 @@ let run_round t ~time =
         solver = None;
         graph_nodes = 0;
         graph_arcs = 0;
+        resilience = empty_resilience;
       }
   end
   else begin
-    let net = Flow_network.build t.view t.census ~jobs ~now:time ~params in
-    let nodes, arcs = Flow_network.size net in
-    if Obs.enabled () then begin
-      let build_s = Obs.now_wall () -. round_t0 in
-      Obs.Trace.emit "network_built"
-        [
-          ("nodes", Obs.Trace.Int nodes);
-          ("arcs", Obs.Trace.Int arcs);
-          ("build_s", Obs.Trace.Float build_s);
-        ];
-      Obs.Histogram.observe (Obs.Registry.histogram "hire.build_s") build_s
-    end;
-    let outcome = Flow_network.solve_and_extract ~solver:t.config.solver net in
-    let decisions = ref [] in
-    (* Apply flavor picks first so picked groups materialize. *)
-    List.iter
-      (fun (job_id, tg_id) ->
-        match Hashtbl.find_opt t.jobs job_id with
-        | None -> ()
-        | Some job -> (
-            match Pending.find_tg job tg_id with
-            | None -> ()
-            | Some ts ->
-                if Pending.status job ts = Flavor.Undecided then begin
-                  decisions := (job_id, Poly_req.is_network ts.tg) :: !decisions;
-                  if Obs.enabled () then
-                    Obs.Trace.emit "flavor_decision"
-                      [
-                        ("job", Obs.Trace.Int job_id);
-                        ("inc", Obs.Trace.Bool (Poly_req.is_network ts.tg));
-                      ];
-                  let dropped = Pending.decide job ts in
-                  cancelled := !cancelled @ List.map (fun d -> d.Pending.tg) dropped;
-                  if t.config.simple_flavor then begin
-                    let dropped' = propagate_simple job (Poly_req.is_network ts.tg) in
-                    cancelled :=
-                      !cancelled @ List.map (fun d -> d.Pending.tg) dropped'
-                  end
-                end))
-      outcome.flavor_picks;
-    (* Then task placements. *)
-    let placements =
-      List.filter_map
-        (fun (tg_id, machine) ->
-          let found =
-            Hashtbl.fold
-              (fun _ job acc ->
-                match acc with Some _ -> acc | None -> (
-                  match Pending.find_tg job tg_id with
-                  | Some ts when Pending.status job ts = Flavor.Materialized
-                                 && ts.Pending.remaining > 0 ->
-                      Some (job, ts)
-                  | _ -> None))
-              t.jobs None
-          in
-          match found with
-          | None -> None
-          | Some (job, ts) ->
-              Pending.place job ts ~machine;
-              Locality.Task_census.add t.census ~tg_id ~machine;
-              Some (ts.Pending.tg, machine))
-        outcome.placements
-    in
-    cleanup t;
-    emit_round_end
-      {
-        placements;
-        cancelled = !cancelled;
-        fallbacks = !fallbacks;
-        flavor_decisions = List.rev !decisions;
-        solver = Some outcome.solver;
-        graph_nodes = nodes;
-        graph_arcs = arcs;
-      }
+    match t.config.resilience with
+    | None ->
+        (* Legacy path: one unbounded solve, no guard. *)
+        let net = Flow_network.build t.view t.census ~jobs ~now:time ~params in
+        let nodes, arcs = Flow_network.size net in
+        if Obs.enabled () then begin
+          let build_s = Clock.now () -. round_t0 in
+          Obs.Trace.emit "network_built"
+            [
+              ("nodes", Obs.Trace.Int nodes);
+              ("arcs", Obs.Trace.Int arcs);
+              ("build_s", Obs.Trace.Float build_s);
+            ];
+          Obs.Histogram.observe (Obs.Registry.histogram "hire.build_s") build_s
+        end;
+        let outcome = Flow_network.solve_and_extract ~solver:t.config.solver net in
+        let decisions = ref [] in
+        apply_flavor_picks t ~flavor_picks:outcome.Flow_network.flavor_picks ~cancelled
+          ~decisions;
+        let placements = apply_placements t outcome.Flow_network.placements in
+        cleanup t;
+        emit_round_end
+          {
+            placements;
+            cancelled = !cancelled;
+            fallbacks = !fallbacks;
+            flavor_decisions = List.rev !decisions;
+            solver = Some outcome.Flow_network.solver;
+            graph_nodes = nodes;
+            graph_arcs = arcs;
+            resilience = None;
+          }
+    | Some r ->
+        let trips = ref 0 in
+        let backends = [ t.config.solver; other_backend t.config.solver ] in
+        let rec chain depth last = function
+          | [] -> (`Greedy last, depth)
+          | backend :: rest -> (
+              match attempt_backend t ~jobs ~time ~params r ~backend ~trips with
+              | `Accept (outcome, solver, size) -> (`Flow (outcome, solver, size), depth)
+              | `Reject (solver, size) -> chain (depth + 1) (Some (solver, size)) rest)
+        in
+        let result, depth = chain 0 None backends in
+        let flavor_picks, raw_placements, solver_res, (nodes, arcs), used_greedy =
+          match result with
+          | `Flow (outcome, solver, size) ->
+              ( outcome.Flow_network.flavor_picks,
+                outcome.Flow_network.placements,
+                Some solver,
+                size,
+                false )
+          | `Greedy last ->
+              (* Terminal rung: every solver attempt was exhausted or
+                 quarantined.  [last] reports the final failed solve so
+                 callers still see its wall time and stats. *)
+              let raw = Greedy.place t.view ~jobs ~params in
+              let solver, size =
+                match last with Some (s, sz) -> (Some s, sz) | None -> (None, (0, 0))
+              in
+              ([], raw, solver, size, true)
+        in
+        let greedy_pool = if used_greedy then total_materialized_remaining jobs else 0 in
+        let decisions = ref [] in
+        apply_flavor_picks t ~flavor_picks ~cancelled ~decisions;
+        let placements = apply_placements t raw_placements in
+        let degraded =
+          used_greedy
+          || match solver_res with Some s -> s.Flow.Mcmf.degraded | None -> false
+        in
+        let salvaged = if degraded then List.length placements else 0 in
+        if Obs.enabled () then begin
+          if degraded then
+            Obs.Registry.incr (Obs.Registry.counter "hire.resilience.degraded_rounds");
+          if depth > 0 then
+            Obs.Registry.incr (Obs.Registry.counter "hire.resilience.fallback_rounds");
+          if used_greedy then
+            Obs.Registry.incr (Obs.Registry.counter "hire.resilience.greedy_rounds");
+          Obs.Histogram.observe
+            (Obs.Registry.histogram "hire.resilience.fallback_depth")
+            (float_of_int depth);
+          if degraded then begin
+            let ratio =
+              if used_greedy then
+                float_of_int (List.length placements)
+                /. float_of_int (max 1 greedy_pool)
+              else
+                match solver_res with
+                | Some s ->
+                    let total = s.Flow.Mcmf.shipped + s.Flow.Mcmf.unshipped in
+                    float_of_int s.Flow.Mcmf.shipped /. float_of_int (max 1 total)
+                | None -> 0.0
+            in
+            Obs.Histogram.observe
+              (Obs.Registry.histogram "hire.resilience.salvage_ratio")
+              ratio
+          end
+        end;
+        cleanup t;
+        emit_round_end
+          {
+            placements;
+            cancelled = !cancelled;
+            fallbacks = !fallbacks;
+            flavor_decisions = List.rev !decisions;
+            solver = solver_res;
+            graph_nodes = nodes;
+            graph_arcs = arcs;
+            resilience =
+              Some { degraded; fallback_depth = depth; guard_trips = !trips; salvaged };
+          }
   end
 
 let on_task_complete t ~tg_id ~machine =

@@ -6,12 +6,31 @@
     flavors, the task census feeding the locality cost terms); resource
     ledgers are owned by the caller and read through {!View.t}. *)
 
+(** Solver-resilience policy (docs/RESILIENCE.md).  With a policy
+    installed, each round runs a fallback chain instead of a single
+    solve: the configured MCMF backend under [budget], then the other
+    backend under the same budget, then the {!Greedy} best-effort
+    placer — so a round always terminates with whatever progress was
+    affordable.  [guard_every] = n > 0 additionally runs the
+    {!Guard} invariant checks on every n-th solve's live solution
+    before it is applied; a violation quarantines the solution and the
+    chain advances to the next backend. *)
+type resilience = {
+  budget : Flow.Budget.t option;  (** per-solve-attempt budget; [None] = unbounded *)
+  guard_every : int;  (** check every n-th solve; [<= 0] disables the guard *)
+}
+
+val resilience : ?budget:Flow.Budget.t -> ?guard_every:int -> unit -> resilience
+
 type config = {
   params : Cost_model.params;
   simple_flavor : bool;
       (** the paper's ablation (§6.3): decide once per job whether the
           whole PolyReq runs with INC or without *)
   solver : Flow_network.solver;  (** MCMF algorithm for the rounds *)
+  resilience : resilience option;
+      (** [None] (the default) preserves the exact legacy behaviour:
+          one unbounded solve per round, no guard *)
 }
 
 val default_config : config
@@ -30,6 +49,20 @@ val pending_work : t -> bool
 (** Number of jobs currently tracked. *)
 val pending_jobs : t -> int
 
+(** Per-round resilience report, present iff a policy is installed. *)
+type round_resilience = {
+  degraded : bool;
+      (** the applied result came from a budget-truncated solve or from
+          the greedy placer *)
+  fallback_depth : int;
+      (** chain rungs abandoned before one was applied: 0 = primary
+          backend, 1 = secondary, 2 = greedy *)
+  guard_trips : int;  (** solutions quarantined by the guard this round *)
+  salvaged : int;
+      (** tasks placed by a degraded rung — progress that a fail-stop
+          scheduler would have discarded *)
+}
+
 type round_outcome = {
   placements : (Poly_req.task_group * int) list;
       (** one task of the group on the machine — the caller must charge
@@ -42,6 +75,7 @@ type round_outcome = {
   solver : Flow.Mcmf.result option;  (** [None] when there was nothing to do *)
   graph_nodes : int;
   graph_arcs : int;
+  resilience : round_resilience option;
 }
 
 (** Execute one scheduling round at simulation time [time]. *)

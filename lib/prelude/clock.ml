@@ -1,0 +1,3 @@
+external now : unit -> float = "hire_clock_monotonic_s"
+
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)

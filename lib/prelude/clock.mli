@@ -1,0 +1,20 @@
+(** Monotonic clock for measuring durations.
+
+    [Unix.gettimeofday] follows the system wall clock, which NTP can
+    step backwards or forwards at any moment; a duration computed from
+    two wall-clock reads can be negative or wildly wrong.  Everything in
+    this codebase that measures an {e elapsed time} — solver wall times,
+    solver budgets ({!Flow.Budget}), runner per-cell timing — must use
+    this clock instead.  Wall-clock timestamps (absolute instants in
+    trace records) legitimately stay on [Unix.gettimeofday].
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)]; the epoch is arbitrary
+    (typically boot time), so only differences between two reads are
+    meaningful. *)
+
+(** Seconds since an arbitrary fixed point; strictly non-decreasing
+    within a process. *)
+val now : unit -> float
+
+(** [elapsed_since t0] is [now () -. t0], clamped to be non-negative. *)
+val elapsed_since : float -> float

@@ -1,0 +1,19 @@
+/* Monotonic clock primitive for Prelude.Clock.
+
+   CLOCK_MONOTONIC is immune to NTP steps and manual clock changes, so
+   durations derived from it can never be negative and solver budgets
+   can never be exhausted (or extended) by a wall-clock jump.  OCaml
+   5.1's stdlib exposes no monotonic clock and Mtime is not a
+   dependency, hence this tiny stub. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value hire_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

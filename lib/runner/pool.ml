@@ -1,3 +1,5 @@
+module Clock = Prelude.Clock
+
 type reason =
   | Timed_out of float
   | Crashed of string
@@ -40,7 +42,16 @@ let spawn ~f ~timeout item idx attempt =
   flush stdout;
   flush stderr;
   let r, w = Unix.pipe ~cloexec:false () in
-  match Unix.fork () with
+  let fork () =
+    (* A failed fork (EAGAIN under process pressure) must not leak the
+       pipe: close both ends before re-raising. *)
+    try Unix.fork ()
+    with e ->
+      Unix.close r;
+      Unix.close w;
+      raise e
+  in
+  match fork () with
   | 0 ->
       Unix.close r;
       let result = (try Ok (f item) with e -> Error (Printexc.to_string e)) in
@@ -53,7 +64,7 @@ let spawn ~f ~timeout item idx attempt =
       Unix._exit code
   | pid ->
       Unix.close w;
-      let now = Unix.gettimeofday () in
+      let now = Clock.now () in
       {
         pid;
         fd = r;
@@ -124,12 +135,25 @@ let map_forked ~jobs ~timeout ~retries ~label ~log ~f items =
     with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd bytes
   in
   let chunk = Bytes.create 65536 in
+  (* If the parent loop dies (out of memory, a signal-raised exception,
+     a bug), the still-running children and their pipe fds must not
+     outlive it as zombies/leaks. *)
+  let reap_survivors () =
+    List.iter
+      (fun r ->
+        (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (waitpid_retry r.pid) with Unix.Unix_error _ -> ());
+        try Unix.close r.fd with Unix.Unix_error _ -> ())
+      !running;
+    running := []
+  in
+  Fun.protect ~finally:reap_survivors @@ fun () ->
   while (not (Queue.is_empty pending)) || !running <> [] do
     while (not (Queue.is_empty pending)) && List.length !running < jobs do
       let idx, attempt = Queue.pop pending in
       running := spawn ~f ~timeout items.(idx) idx attempt :: !running
     done;
-    let now = Unix.gettimeofday () in
+    let now = Clock.now () in
     let select_timeout =
       List.fold_left
         (fun acc r ->
@@ -153,10 +177,10 @@ let map_forked ~jobs ~timeout ~retries ~label ~log ~f items =
           running := List.filter (fun x -> x.pid <> r.pid) !running;
           Unix.close fd;
           let status = waitpid_retry r.pid in
-          settle r (decode_payload r status) (Unix.gettimeofday () -. r.started)
+          settle r (decode_payload r status) (Clock.now () -. r.started)
         end)
       readable;
-    let now = Unix.gettimeofday () in
+    let now = Clock.now () in
     let expired, alive =
       List.partition
         (fun r -> match r.deadline with Some d -> now >= d | None -> false)
@@ -184,14 +208,14 @@ let map_inline ~retries ~label ~log ~f items =
     (fun i item ->
       let name = label i item in
       let rec attempt k =
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now () in
         match f item with
         | v ->
-            let wall_s = Unix.gettimeofday () -. t0 in
+            let wall_s = Clock.now () -. t0 in
             log (Printf.sprintf "[runner] (%d/%d) ok   %s  %.1fs" (i + 1) n name wall_s);
             { result = Ok v; attempts = k; wall_s }
         | exception e ->
-            let wall_s = Unix.gettimeofday () -. t0 in
+            let wall_s = Clock.now () -. t0 in
             let msg = Printexc.to_string e in
             if k < max_attempts then begin
               log

@@ -57,7 +57,7 @@ let obs_account stats =
 
 let run ?(jobs = 1) ?timeout ?(retries = 1) ?cache ?(resume = true) ?(isolate = true)
     ?label ?(log = ignore) ~key ~f items =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Prelude.Clock.now () in
   let keyed = List.map (fun item -> (item, key item)) items in
   (* Resolve cache hits first; only the misses go to the pool. *)
   let slots =
@@ -137,7 +137,7 @@ let run ?(jobs = 1) ?timeout ?(retries = 1) ?cache ?(resume = true) ?(isolate = 
       }
       outcomes
   in
-  let stats = { stats with wall_s = Unix.gettimeofday () -. t0 } in
+  let stats = { stats with wall_s = Prelude.Clock.now () -. t0 } in
   obs_account stats;
   if Obs.enabled () then
     List.iter

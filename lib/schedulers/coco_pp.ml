@@ -69,6 +69,7 @@ let create cluster =
         cancelled = !cancelled;
         think = 0.0005;
         solver_wall = None;
+        resilience = None;
       }
     end
     else begin
@@ -112,6 +113,7 @@ let create cluster =
         cancelled = !cancelled;
         think = think_of ~nodes ~arcs;
         solver_wall = Some outcome.solver.Flow.Mcmf.elapsed_s;
+        resilience = None;
       }
     end
   in

@@ -9,6 +9,7 @@ val create :
   ?params:Hire.Cost_model.params ->
   ?solver:Hire.Flow_network.solver ->
   ?shared:bool ->
+  ?resilience:Hire.Hire_scheduler.resilience ->
   ?name:string ->
   Sim.Cluster.t ->
   Sim.Scheduler_intf.t

@@ -57,6 +57,7 @@ let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun
       cancelled = !cancelled;
       think = think_per_alloc *. float_of_int (max 1 !attempts);
       solver_wall = None;
+      resilience = None;
     }
   in
   {

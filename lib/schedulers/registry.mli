@@ -8,6 +8,13 @@
     coco-timeout. *)
 val names : string list
 
-(** [create name ~seed cluster] builds the scheduler.
+(** [create name ~seed cluster] builds the scheduler.  [resilience]
+    installs a solver-resilience policy (docs/RESILIENCE.md) on the
+    flow-based HIRE variants; the baselines ignore it.
     @raise Invalid_argument on unknown names. *)
-val create : string -> seed:int -> Sim.Cluster.t -> Sim.Scheduler_intf.t
+val create :
+  ?resilience:Hire.Hire_scheduler.resilience ->
+  string ->
+  seed:int ->
+  Sim.Cluster.t ->
+  Sim.Scheduler_intf.t

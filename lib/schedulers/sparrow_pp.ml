@@ -146,6 +146,7 @@ let create ~mode ~seed cluster =
       cancelled = !cancelled;
       think = think_per_alloc *. float_of_int (max 1 !attempts);
       solver_wall = None;
+      resilience = None;
     }
   in
   {

@@ -37,9 +37,21 @@ let fault_columns =
 
 let header_with_faults = header ^ "," ^ String.concat "," fault_columns
 
+let resilience_columns =
+  [
+    "degraded_rounds"; "fallback_rounds"; "fallback_depth_max"; "guard_trips";
+    "salvaged_tasks";
+  ]
+
+let full_header ?(faults = false) ?(resilience = false) () =
+  let cols = if faults then [ header; String.concat "," fault_columns ] else [ header ] in
+  let cols = if resilience then cols @ [ String.concat "," resilience_columns ] else cols in
+  String.concat "," cols
+
 let quantile_or_zero q h = if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.quantile h q
 
-let row ?(faults = false) ~scheduler ~mu ~setup ~seed (r : Metrics.report) =
+let row ?(faults = false) ?(resilience = false) ~scheduler ~mu ~setup ~seed
+    (r : Metrics.report) =
   let base =
     Printf.sprintf
       "%s,%.3f,%s,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%.4f,%.4f,%.5f,%.5f,%.5f,%.4f,%.4f,%.4f,%d"
@@ -54,20 +66,27 @@ let row ?(faults = false) ~scheduler ~mu ~setup ~seed (r : Metrics.report) =
       (1000.0 *. quantile_or_zero 0.5 r.solver_wall)
       r.rounds
   in
-  if not faults then base
+  let base =
+    if not faults then base
+    else
+      base
+      ^ Printf.sprintf ",%d,%d,%d,%d,%d,%.4f,%.4f" r.node_fails r.node_recoveries
+          r.tasks_killed r.requeues r.fault_cancels
+          (quantile_or_zero 0.5 r.time_to_reschedule)
+          (quantile_or_zero 0.5 r.node_downtime)
+  in
+  if not resilience then base
   else
     base
-    ^ Printf.sprintf ",%d,%d,%d,%d,%d,%.4f,%.4f" r.node_fails r.node_recoveries
-        r.tasks_killed r.requeues r.fault_cancels
-        (quantile_or_zero 0.5 r.time_to_reschedule)
-        (quantile_or_zero 0.5 r.node_downtime)
+    ^ Printf.sprintf ",%d,%d,%d,%d,%d" r.degraded_rounds r.fallback_rounds
+        r.fallback_depth_max r.guard_trips r.salvaged_tasks
 
-let write_file ?(faults = false) path rows =
+let write_file ?(faults = false) ?(resilience = false) path rows =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (if faults then header_with_faults else header);
+      output_string oc (full_header ~faults ~resilience ());
       output_char oc '\n';
       List.iter
         (fun r ->

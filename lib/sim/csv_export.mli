@@ -8,11 +8,18 @@ val header : string
     downtime_p50_s). *)
 val header_with_faults : string
 
+(** Header with the selected optional column groups appended, in fixed
+    order: fault columns, then solver-resilience columns
+    (degraded_rounds … salvaged_tasks). *)
+val full_header : ?faults:bool -> ?resilience:bool -> unit -> string
+
 (** [row ~scheduler ~mu ~setup ~seed report] renders one CSV line (no
-    trailing newline).  [faults] appends the fault columns; without it
-    the row matches the pre-fault format byte for byte. *)
+    trailing newline).  [faults] appends the fault columns and
+    [resilience] the solver-resilience columns; without them the row
+    matches the pre-fault format byte for byte. *)
 val row :
   ?faults:bool ->
+  ?resilience:bool ->
   scheduler:string ->
   mu:float ->
   setup:Cluster.inc_setup ->
@@ -20,6 +27,7 @@ val row :
   Metrics.report ->
   string
 
-(** [write_file path rows] writes header + rows ([faults] selects the
-    extended header — pass rows rendered with the same flag). *)
-val write_file : ?faults:bool -> string -> string list -> unit
+(** [write_file path rows] writes header + rows ([faults]/[resilience]
+    select the extended header — pass rows rendered with the same
+    flags). *)
+val write_file : ?faults:bool -> ?resilience:bool -> string -> string list -> unit

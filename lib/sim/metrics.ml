@@ -45,6 +45,11 @@ type t = {
   mutable tasks_killed : int;
   mutable requeues : int;
   mutable fault_cancels : int;
+  mutable degraded_rounds : int;
+  mutable fallback_rounds : int;
+  mutable fallback_depth_max : int;
+  mutable guard_trips : int;
+  mutable salvaged_tasks : int;
 }
 
 let create topo =
@@ -68,6 +73,11 @@ let create topo =
     tasks_killed = 0;
     requeues = 0;
     fault_cancels = 0;
+    degraded_rounds = 0;
+    fallback_rounds = 0;
+    fallback_depth_max = 0;
+    guard_trips = 0;
+    salvaged_tasks = 0;
   }
 
 let advance_load t time =
@@ -192,9 +202,17 @@ let on_node_recover t ~time ~downtime_s =
 
 let on_solver_sample t ~wall_s = Obs.Histogram.observe t.solver_h wall_s
 
-let on_round t ~think_s =
+let on_round ?resilience t ~think_s =
   t.rounds <- t.rounds + 1;
-  t.think_total <- t.think_total +. think_s
+  t.think_total <- t.think_total +. think_s;
+  match (resilience : Scheduler_intf.round_resilience option) with
+  | None -> ()
+  | Some r ->
+      if r.degraded then t.degraded_rounds <- t.degraded_rounds + 1;
+      if r.fallback_depth > 0 then t.fallback_rounds <- t.fallback_rounds + 1;
+      t.fallback_depth_max <- max t.fallback_depth_max r.fallback_depth;
+      t.guard_trips <- t.guard_trips + r.guard_trips;
+      t.salvaged_tasks <- t.salvaged_tasks + r.salvaged
 
 let finalize t ~time =
   advance_load t time;
@@ -224,6 +242,11 @@ type report = {
   tgs_cancelled : int;
   time_to_reschedule : Obs.Histogram.t;
   node_downtime : Obs.Histogram.t;
+  degraded_rounds : int;
+  fallback_rounds : int;
+  fallback_depth_max : int;
+  guard_trips : int;
+  salvaged_tasks : int;
 }
 
 let report t =
@@ -325,6 +348,11 @@ let report t =
     tgs_cancelled = !tgs_cancelled;
     time_to_reschedule = t.reschedule_h;
     node_downtime = t.downtime_h;
+    degraded_rounds = t.degraded_rounds;
+    fallback_rounds = t.fallback_rounds;
+    fallback_depth_max = t.fallback_depth_max;
+    guard_trips = t.guard_trips;
+    salvaged_tasks = t.salvaged_tasks;
   }
 
 let inc_satisfaction_ratio r =
@@ -344,4 +372,13 @@ let pp_report fmt r =
   (* Fault-free reports stay byte-identical to the pre-fault format. *)
   if r.node_fails > 0 then
     Format.fprintf fmt " faults=%d/%d killed=%d requeued=%d cancelled=%d" r.node_fails
-      r.node_recoveries r.tasks_killed r.requeues r.fault_cancels
+      r.node_recoveries r.tasks_killed r.requeues r.fault_cancels;
+  (* Likewise, runs without a resilience policy keep the legacy format. *)
+  if
+    r.degraded_rounds > 0 || r.fallback_rounds > 0 || r.guard_trips > 0
+    || r.salvaged_tasks > 0
+  then
+    Format.fprintf fmt
+      " resilience: degraded-rounds=%d fallback-rounds=%d max-depth=%d guard-trips=%d salvaged=%d"
+      r.degraded_rounds r.fallback_rounds r.fallback_depth_max r.guard_trips
+      r.salvaged_tasks

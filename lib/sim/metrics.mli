@@ -54,7 +54,10 @@ val on_node_recover : t -> time:float -> downtime_s:float -> unit
 (** Record a measured MCMF solve (flow-based schedulers only). *)
 val on_solver_sample : t -> wall_s:float -> unit
 
-val on_round : t -> think_s:float -> unit
+(** Count a scheduling round; [resilience] (if the scheduler runs a
+    solver-resilience policy) feeds the degraded/fallback/guard
+    aggregates. *)
+val on_round : ?resilience:Scheduler_intf.round_resilience -> t -> think_s:float -> unit
 
 (** Close the load integrals at simulation end. *)
 val finalize : t -> time:float -> unit
@@ -90,6 +93,13 @@ type report = {
       (** seconds from a fault-driven requeue until the group is fully
           placed again *)
   node_downtime : Obs.Histogram.t;  (** per-recovery outage seconds *)
+  degraded_rounds : int;
+      (** rounds applied from a budget-truncated solve or the greedy
+          placer (docs/RESILIENCE.md) *)
+  fallback_rounds : int;  (** rounds that advanced past the primary backend *)
+  fallback_depth_max : int;  (** deepest chain rung ever applied *)
+  guard_trips : int;  (** solutions quarantined by the invariant guard *)
+  salvaged_tasks : int;  (** tasks placed by degraded rounds *)
 }
 
 val report : t -> report

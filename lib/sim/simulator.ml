@@ -349,7 +349,7 @@ let run ?(config = default_config) ?faults ?fault_policy cluster
                     ])
                 res.cancelled
             end;
-            Metrics.on_round metrics ~think_s:res.think;
+            Metrics.on_round ?resilience:res.resilience metrics ~think_s:res.think;
             (match res.solver_wall with
             | Some w -> Metrics.on_solver_sample metrics ~wall_s:w
             | None -> ());

@@ -115,6 +115,35 @@ let test_pool_inline_mode () =
   | Error (Pool.Child_error _) -> ()
   | _ -> Alcotest.fail "expected Child_error in inline mode"
 
+(* Every timed-out worker is SIGKILLed; the parent must reap it and
+   close its pipe end.  Kill ~100 workers and assert the process ends
+   with the fd table back at baseline and no zombie children. *)
+let test_pool_kill_storm_no_leaks () =
+  let count_fds () = Array.length (Sys.readdir "/proc/self/fd") in
+  let no_children () =
+    match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+    | 0, _ -> false (* a live child is still out there *)
+    | _ -> false (* an unreaped zombie was waiting for us *)
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+  in
+  let baseline = count_fds () in
+  let items = List.init 100 Fun.id in
+  let f x =
+    if x mod 2 = 0 then Unix.sleepf 30.0;
+    x
+  in
+  let cells = Pool.map ~jobs:8 ~timeout:0.05 ~retries:0 ~f items in
+  let killed =
+    List.length
+      (List.filter
+         (fun (c : _ Pool.cell) ->
+           match c.result with Error (Pool.Timed_out _) -> true | _ -> false)
+         cells)
+  in
+  Alcotest.(check int) "half the workers were killed" 50 killed;
+  Alcotest.(check int) "fd table back at baseline" baseline (count_fds ());
+  Alcotest.(check bool) "no zombies left behind" true (no_children ())
+
 (* ------------------------------------------------------------------ *)
 (* Cache                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -303,6 +332,8 @@ let () =
           Alcotest.test_case "child exception -> Child_error" `Quick test_pool_child_exception;
           Alcotest.test_case "timeout kills and retries" `Quick test_pool_timeout;
           Alcotest.test_case "inline (no-fork) mode" `Quick test_pool_inline_mode;
+          Alcotest.test_case "kill storm leaks no fds or zombies" `Quick
+            test_pool_kill_storm_no_leaks;
         ] );
       ( "cache",
         [
