@@ -1,4 +1,4 @@
-.PHONY: all build test check doc clean
+.PHONY: all build test check lint-compare bench-solver doc clean
 
 all: build
 
@@ -8,14 +8,35 @@ build:
 test:
 	dune runtest
 
+# Polymorphic compare in sorts and polymorphic Hashtbl.hash are banned
+# from the solver hot path (lib/flow, lib/hire): they walk values
+# structurally and allocate.  Use Int.compare / Float.compare /
+# String.compare and Prelude.Int_tbl instead (docs/PERFORMANCE.md).
+lint-compare:
+	@! grep -rnE '(List\.sort|List\.sort_uniq|Array\.sort)[ (]+compare' lib/flow lib/hire \
+		|| { echo "lint-compare: FAIL (polymorphic compare in a sort above)"; exit 1; }
+	@! { grep -rn 'Hashtbl\.hash' lib/flow lib/hire | grep -v '\[Hashtbl\.hash\]'; } \
+		|| { echo "lint-compare: FAIL (polymorphic Hashtbl.hash above)"; exit 1; }
+	@echo "lint-compare: OK"
+
+# Full micro + end-to-end solver benchmark; writes BENCH_5.json (see
+# docs/PERFORMANCE.md for how to read it).  Exits non-zero if the
+# incremental path ever diverges from a from-scratch rebuild.
+bench-solver:
+	dune exec bench/bench_solver.exe -- --out BENCH_5.json
+	@grep -q '"identical": true' BENCH_5.json
+	@echo "bench-solver: OK (BENCH_5.json)"
+
 # Tier-1 gate plus smoke-checks that the observability and fault flags
 # are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md), that a
 # small deterministic fault-injected run completes, that bad flags fail
 # fast with a one-line error, that the parallel sweep runner
 # (docs/RUNNER.md) executes and resumes a tiny sweep, and that a run
 # with an exhausted solver budget degrades along the fallback chain
-# instead of wedging (docs/RESILIENCE.md).
-check:
+# instead of wedging (docs/RESILIENCE.md), and that a short solver
+# benchmark still certifies the incremental network path bit-identical
+# (docs/PERFORMANCE.md).
+check: lint-compare
 	dune build
 	dune runtest
 	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--trace'
@@ -43,6 +64,11 @@ check:
 	dune exec bin/hire_sim.exe -- -s hire -k 4 --horizon 40 --util 2.0 --seeds 1 \
 		--solver-budget 0 --guard 1 \
 		| grep -E 'degraded-rounds=[1-9]' > /dev/null
+	dune exec bench/bench_solver.exe -- --rounds 40 -k 4 --no-e2e \
+		--out /tmp/hire_bench_smoke.json
+	@grep -q '"identical": true' /tmp/hire_bench_smoke.json || \
+		{ echo "check: FAIL (incremental network diverged)"; exit 1; }
+	rm -f /tmp/hire_bench_smoke.json
 	@echo "check: OK"
 
 # odoc is optional in this environment; the lib/obs dune env marks its

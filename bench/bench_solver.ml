@@ -1,0 +1,414 @@
+(* Solver hot-path benchmark (docs/PERFORMANCE.md): measures the
+   per-round flow-network construction cost with and without the
+   persistent incremental builder, verifies that both paths produce
+   bit-identical networks and solver results, and emits a small JSON
+   report (BENCH_5.json) consumed by CI.
+
+   Two parts:
+
+   - [micro]: one cluster, one frozen pending-job queue.  Each round
+     applies a small ledger mutation (place + release one server task,
+     which marks the server dirty) and rebuilds the network, either from
+     scratch (mode "full": a fresh builder every round, the legacy
+     behaviour) or by patching the persistent builder (mode
+     "incremental").  Build walls and GC words are accumulated per mode;
+     a third pass builds both variants side by side each round and
+     compares them arc by arc, then solves both and compares placements
+     and objective values.
+
+   - [e2e]: one short Experiment cell run twice, incremental on/off, and
+     compared through its CSV row (byte identity end to end).
+
+   Exit status is 1 when any identity check fails, so `make check` can
+   gate on it. *)
+
+module Clock = Prelude.Clock
+module Vec = Prelude.Vec
+module Rng = Prelude.Rng
+module Flow_network = Hire.Flow_network
+module Graph = Flow.Graph
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: cluster + frozen pending queue                             *)
+(* ------------------------------------------------------------------ *)
+
+type fixture = {
+  cluster : Sim.Cluster.t;
+  view : Hire.View.t;
+  census : Hire.Locality.Task_census.t;
+  jobs : Hire.Pending.job_state list;
+  now : float;
+  params : Hire.Cost_model.params;
+  servers : int array;
+  demand : Vec.t;  (* per-round mutation charge, refunded in-round *)
+}
+
+let make_fixture ~k ~queue_horizon =
+  let rng = Rng.create 1 in
+  let trace_rng = Rng.split rng in
+  let scenario_rng = Rng.split rng in
+  let cluster_rng = Rng.split rng in
+  let store = Hire.Comp_store.default () in
+  let services = Array.to_list (Hire.Comp_store.service_names store) in
+  let cluster =
+    Sim.Cluster.create ~k ~setup:Sim.Cluster.Homogeneous ~services cluster_rng
+  in
+  let trace_config =
+    Workload.Trace_gen.scaled_rate
+      ~n_servers:(Sim.Cluster.n_servers cluster)
+      ~target_utilization:0.8 Workload.Trace_gen.default
+  in
+  let trace = Workload.Trace_gen.generate trace_config trace_rng ~horizon:queue_horizon in
+  let scenario = Sim.Scenario.build store scenario_rng ~mu:0.5 trace in
+  let jobs =
+    List.map (fun (_, poly) -> Hire.Pending.of_poly poly) scenario.Sim.Scenario.arrivals
+  in
+  let now =
+    List.fold_left
+      (fun acc (t, _) -> Float.max acc t)
+      0.0 scenario.Sim.Scenario.arrivals
+    +. 1.0
+  in
+  let view = Sim.Cluster.view cluster in
+  let census = Hire.Locality.Task_census.create view.Hire.View.topo in
+  let servers = Topology.Fat_tree.servers view.Hire.View.topo in
+  let demand = Vec.scale 0.05 (Sim.Cluster.server_capacity cluster) in
+  {
+    cluster;
+    view;
+    census;
+    jobs;
+    now;
+    params = Hire.Cost_model.default_params;
+    servers;
+    demand;
+  }
+
+(* One round's worth of cluster churn: charge and refund one server, so
+   the ledger is net unchanged but the server lands in the dirty set —
+   exactly what task arrivals/completions do between rounds. *)
+let mutate fx i =
+  let server = fx.servers.(i mod Array.length fx.servers) in
+  Sim.Cluster.place_server_task fx.cluster ~server ~demand:fx.demand;
+  Sim.Cluster.release_server_task fx.cluster ~server ~demand:fx.demand
+
+let build_full fx =
+  Flow_network.build fx.view fx.census ~jobs:fx.jobs ~now:fx.now ~params:fx.params
+
+let build_incremental fx builder =
+  Flow_network.build ~builder fx.view fx.census ~jobs:fx.jobs ~now:fx.now
+    ~params:fx.params
+
+(* ------------------------------------------------------------------ *)
+(* Identity checks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let arcs_of g =
+  let acc = ref [] in
+  Graph.iter_arcs g (fun a ->
+      acc := (Graph.src g a, Graph.dst g a, Graph.capacity g a, Graph.cost g a) :: !acc);
+  List.rev !acc
+
+let graphs_identical ga gb =
+  Graph.node_count ga = Graph.node_count gb
+  && Graph.arc_count ga = Graph.arc_count gb
+  && arcs_of ga = arcs_of gb
+  &&
+  let n = Graph.node_count ga in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if Graph.supply ga v <> Graph.supply gb v then ok := false
+  done;
+  !ok
+
+let outcomes_identical (a : Flow_network.outcome) (b : Flow_network.outcome) =
+  a.placements = b.placements
+  && a.flavor_picks = b.flavor_picks
+  && a.solver.Flow.Mcmf.total_cost = b.solver.Flow.Mcmf.total_cost
+  && a.solver.Flow.Mcmf.shipped = b.solver.Flow.Mcmf.shipped
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type pass_result = {
+  wall_s : float;
+  rounds_per_sec : float;
+  ns_per_build : float;
+  minor_words_per_round : float;
+  major_words_per_round : float;
+}
+
+let timed_pass ~rounds f =
+  Gc.full_major ();
+  let gc0 = Gc.quick_stat () in
+  let t0 = Clock.now () in
+  for i = 0 to rounds - 1 do
+    f i
+  done;
+  let wall_s = Clock.elapsed_since t0 in
+  let gc1 = Gc.quick_stat () in
+  let per r = r /. float_of_int rounds in
+  {
+    wall_s;
+    rounds_per_sec = (if wall_s > 0.0 then float_of_int rounds /. wall_s else 0.0);
+    ns_per_build = per (wall_s *. 1e9);
+    minor_words_per_round = per (gc1.Gc.minor_words -. gc0.Gc.minor_words);
+    major_words_per_round = per (gc1.Gc.major_words -. gc0.Gc.major_words);
+  }
+
+type micro_result = {
+  full : pass_result;
+  incremental : pass_result;
+  identical : bool;
+  verify_rounds : int;
+  stats : Flow_network.build_stats;
+}
+
+let run_micro fx ~rounds ~verify_rounds =
+  (* Mode "full": a fresh arena every round (legacy path). *)
+  let full = timed_pass ~rounds (fun i -> mutate fx i; ignore (build_full fx)) in
+  (* Mode "incremental": persistent builder, patched per round.  The
+     first build is a full rebuild (cold builder); everything after
+     patches the prefix in place. *)
+  let builder = Flow_network.create_builder () in
+  ignore (build_incremental fx builder);
+  let incremental =
+    timed_pass ~rounds (fun i -> mutate fx i; ignore (build_incremental fx builder))
+  in
+  (* Identity pass: the incremental build must be arc-for-arc identical
+     to a from-scratch build of the same state, and solve to the same
+     placements and objective.  The incremental build runs first (it
+     consumes the round's dirty set); the fresh build never needs it.
+     The solve leaves flow on the persistent graph on purpose — the next
+     patch must recover from it, as it does after every real round. *)
+  let scratch = Flow.Mcmf.scratch () in
+  let identical = ref true in
+  let last_stats = ref (Flow_network.stats (build_incremental fx builder)) in
+  for i = 0 to verify_rounds - 1 do
+    mutate fx i;
+    let net_inc = build_incremental fx builder in
+    let net_full = build_full fx in
+    if not (graphs_identical (Flow_network.graph net_inc) (Flow_network.graph net_full))
+    then identical := false;
+    let out_inc = Flow_network.solve_and_extract ~scratch net_inc in
+    let out_full = Flow_network.solve_and_extract net_full in
+    if not (outcomes_identical out_inc out_full) then identical := false;
+    last_stats := Flow_network.stats net_inc
+  done;
+  { full; incremental; identical = !identical; verify_rounds; stats = !last_stats }
+
+type e2e_result = { identical : bool; wall_s_full : float; wall_s_incremental : float }
+
+(* One full simulation cell with per-round placement logging.  Identity
+   is judged on the placement log (every round's decisions, in order)
+   plus the CSV row with the measured solver-wall column masked — wall
+   clock is the one legitimately nondeterministic column. *)
+let run_cell ~incremental ~k ~horizon =
+  let rng = Rng.create 1 in
+  let trace_rng = Rng.split rng in
+  let scenario_rng = Rng.split rng in
+  let cluster_rng = Rng.split rng in
+  let store = Hire.Comp_store.default () in
+  let services = Array.to_list (Hire.Comp_store.service_names store) in
+  let cluster =
+    Sim.Cluster.create ~inc_capable_fraction:0.15 ~k ~setup:Sim.Cluster.Homogeneous
+      ~services cluster_rng
+  in
+  let trace_config =
+    Workload.Trace_gen.scaled_rate
+      ~n_servers:(Sim.Cluster.n_servers cluster)
+      ~target_utilization:0.8 Workload.Trace_gen.default
+  in
+  let trace = Workload.Trace_gen.generate trace_config trace_rng ~horizon in
+  let scenario = Sim.Scenario.build store scenario_rng ~mu:0.5 trace in
+  let sched = Schedulers.Registry.create ~incremental "hire" ~seed:1 cluster in
+  let log = Buffer.create 4096 in
+  let wrapped =
+    {
+      sched with
+      Sim.Scheduler_intf.round =
+        (fun ~time ->
+          let r = sched.Sim.Scheduler_intf.round ~time in
+          Buffer.add_string log (Printf.sprintf "t=%.6f" time);
+          List.iter
+            (fun (p : Sim.Scheduler_intf.placement) ->
+              Buffer.add_string log
+                (Printf.sprintf " %d->%d" p.tg.Hire.Poly_req.tg_id p.machine))
+            r.Sim.Scheduler_intf.placements;
+          Buffer.add_char log '\n';
+          r);
+    }
+  in
+  let t0 = Clock.now () in
+  let result = Sim.Simulator.run cluster wrapped scenario.Sim.Scenario.arrivals in
+  let wall = Clock.elapsed_since t0 in
+  let row =
+    Sim.Csv_export.row ~scheduler:"hire" ~mu:0.5 ~setup:Sim.Cluster.Homogeneous ~seed:1
+      result.Sim.Simulator.report
+  in
+  (* Mask the solver_p50_ms column (index 19 of the base header). *)
+  let row_masked =
+    String.split_on_char ',' row
+    |> List.mapi (fun i c -> if i = 19 then "_" else c)
+    |> String.concat ","
+  in
+  (Buffer.contents log, row_masked, wall)
+
+let run_e2e ~k ~horizon =
+  let log_full, row_full, wall_s_full = run_cell ~incremental:false ~k ~horizon in
+  let log_inc, row_inc, wall_s_incremental = run_cell ~incremental:true ~k ~horizon in
+  if not (String.equal log_full log_inc) then begin
+    let a = String.split_on_char '\n' log_full and b = String.split_on_char '\n' log_inc in
+    Printf.eprintf "e2e: placement logs differ (%d vs %d rounds)\n" (List.length a)
+      (List.length b);
+    (try
+       List.iteri
+         (fun i la ->
+           let lb = List.nth b i in
+           if not (String.equal la lb) then begin
+             Printf.eprintf "  first diff at round %d:\n    full: %s\n    incr: %s\n" i la lb;
+             raise Exit
+           end)
+         a
+     with Exit | Failure _ -> ())
+  end
+  else if not (String.equal row_full row_inc) then
+    Printf.eprintf "e2e: rows differ\n  full: %s\n  incr: %s\n" row_full row_inc;
+  {
+    identical = String.equal log_full log_inc && String.equal row_full row_inc;
+    wall_s_full;
+    wall_s_incremental;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_pass (p : pass_result) =
+  Printf.sprintf
+    "{ \"wall_s\": %.6f, \"rounds_per_sec\": %.1f, \"ns_per_build\": %.0f, \
+     \"minor_words_per_round\": %.0f, \"major_words_per_round\": %.0f }"
+    p.wall_s p.rounds_per_sec p.ns_per_build p.minor_words_per_round
+    p.major_words_per_round
+
+let write_json path ~k ~rounds ~n_jobs (m : micro_result) (e : e2e_result option) =
+  let oc = open_out path in
+  let speedup =
+    if m.incremental.ns_per_build > 0.0 then m.full.ns_per_build /. m.incremental.ns_per_build
+    else 0.0
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"bench_solver\",\n";
+  Printf.fprintf oc "  \"k\": %d,\n  \"rounds\": %d,\n  \"pending_jobs\": %d,\n" k rounds
+    n_jobs;
+  Printf.fprintf oc "  \"identical\": %b,\n"
+    (m.identical && match e with None -> true | Some e -> e.identical);
+  Printf.fprintf oc "  \"micro\": {\n";
+  Printf.fprintf oc "    \"full\": %s,\n" (json_of_pass m.full);
+  Printf.fprintf oc "    \"incremental\": %s,\n" (json_of_pass m.incremental);
+  Printf.fprintf oc "    \"build_speedup\": %.2f,\n" speedup;
+  Printf.fprintf oc "    \"verify_rounds\": %d,\n" m.verify_rounds;
+  Printf.fprintf oc "    \"last_build_full\": %b,\n" m.stats.Flow_network.full;
+  Printf.fprintf oc "    \"touched_arcs\": %d,\n" m.stats.Flow_network.touched_arcs;
+  Printf.fprintf oc "    \"total_arcs\": %d,\n" m.stats.Flow_network.total_arcs;
+  Printf.fprintf oc "    \"builds\": %d,\n" m.stats.Flow_network.builds;
+  Printf.fprintf oc "    \"full_rebuilds\": %d\n" m.stats.Flow_network.full_rebuilds;
+  Printf.fprintf oc "  }%s\n" (if e = None then "" else ",");
+  (match e with
+  | None -> ()
+  | Some e ->
+      Printf.fprintf oc
+        "  \"e2e\": { \"identical\": %b, \"wall_s_full\": %.3f, \
+         \"wall_s_incremental\": %.3f }\n"
+        e.identical e.wall_s_full e.wall_s_incremental);
+  Printf.fprintf oc "}\n";
+  close_out oc
+
+let run rounds k queue_horizon e2e_horizon no_e2e out =
+  let fx = make_fixture ~k ~queue_horizon in
+  let n_jobs = List.length fx.jobs in
+  Printf.printf "bench_solver: k=%d rounds=%d pending-jobs=%d\n%!" k rounds n_jobs;
+  let micro = run_micro fx ~rounds ~verify_rounds:(max 10 (rounds / 10)) in
+  let pp_pass name (p : pass_result) =
+    Printf.printf
+      "  %-12s %10.1f rounds/s  %10.0f ns/build  minor %10.0f w/round  major %8.0f \
+       w/round\n"
+      name p.rounds_per_sec p.ns_per_build p.minor_words_per_round p.major_words_per_round
+  in
+  pp_pass "full" micro.full;
+  pp_pass "incremental" micro.incremental;
+  Printf.printf "  build speedup: %.2fx  (touched %d / %d arcs; %d/%d full rebuilds)\n"
+    (micro.full.ns_per_build /. Float.max 1e-9 micro.incremental.ns_per_build)
+    micro.stats.Flow_network.touched_arcs micro.stats.Flow_network.total_arcs
+    micro.stats.Flow_network.full_rebuilds micro.stats.Flow_network.builds;
+  Printf.printf "  identity (%d rounds, graphs + solves): %s\n" micro.verify_rounds
+    (if micro.identical then "OK" else "MISMATCH");
+  let e2e =
+    if no_e2e then None
+    else begin
+      let e = run_e2e ~k ~horizon:e2e_horizon in
+      Printf.printf "  e2e (horizon %.0fs): full %.3fs, incremental %.3fs, rows %s\n"
+        e2e_horizon e.wall_s_full e.wall_s_incremental
+        (if e.identical then "identical" else "MISMATCH");
+      Some e
+    end
+  in
+  write_json out ~k ~rounds ~n_jobs micro e2e;
+  Printf.printf "report written to %s\n" out;
+  let ok = micro.identical && match e2e with None -> true | Some e -> e.identical in
+  if not ok then begin
+    Printf.eprintf "bench_solver: identity check FAILED\n";
+    exit 1
+  end
+
+open Cmdliner
+
+let rounds =
+  let doc = "Timed build rounds per mode." in
+  Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc)
+
+let k =
+  let doc = "Fat-tree arity of the benchmark cluster." in
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+
+let queue_horizon =
+  let doc =
+    "Trace horizon (seconds) used to generate the frozen pending-job queue.  The \
+     default keeps the queue small, matching the steady-state rounds of a real \
+     simulation; large values shift the cost into the per-round job part, which both \
+     modes rebuild."
+  in
+  Arg.(value & opt float 10.0 & info [ "queue-horizon" ] ~docv:"SECONDS" ~doc)
+
+let e2e_horizon =
+  let doc = "Horizon of the end-to-end comparison cell." in
+  Arg.(value & opt float 120.0 & info [ "e2e-horizon" ] ~docv:"SECONDS" ~doc)
+
+let no_e2e =
+  let doc = "Skip the end-to-end experiment comparison (micro only)." in
+  Arg.(value & flag & info [ "no-e2e" ] ~doc)
+
+let out =
+  let doc = "JSON report output path." in
+  Arg.(value & opt string "BENCH_5.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "benchmark incremental flow-network maintenance against full rebuilds" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Measures per-round network construction with and without the persistent \
+         incremental builder, verifies bit-identity of the two paths (graphs, \
+         placements, objective values), and writes a JSON report.  Methodology: \
+         docs/PERFORMANCE.md.";
+      `S Manpage.s_exit_status;
+      `P "0 on success, 1 if any identity check failed.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bench_solver" ~version:"1.0" ~doc ~man)
+    Term.(const run $ rounds $ k $ queue_horizon $ e2e_horizon $ no_e2e $ out)
+
+let () = exit (Cmd.eval cmd)

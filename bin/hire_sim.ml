@@ -4,7 +4,7 @@
    built from; see bench/main.ml for the full sweep. *)
 
 let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max_retries
-    solver_budget solver_steps guard verbose csv trace obs_summary =
+    solver_budget solver_steps guard no_incremental verbose csv trace obs_summary =
   if trace <> None || obs_summary then Obs.set_enabled true;
   (match trace with
   | Some path -> (
@@ -60,6 +60,7 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
       inc_capable_fraction = fraction;
       faults;
       resilience;
+      incremental = not no_incremental;
     }
   in
   Printf.printf "scheduler=%s mu=%.2f k=%d horizon=%.0fs setup=%s util=%.2f seeds=[%s]\n%!"
@@ -225,6 +226,15 @@ let guard =
   in
   Arg.(value & opt int 0 & info [ "guard" ] ~docv:"N" ~doc)
 
+let no_incremental =
+  let doc =
+    "Disable incremental flow-network maintenance: rebuild the whole network and \
+     reallocate solver buffers every round instead of patching a persistent one.  \
+     Results are bit-identical either way (docs/PERFORMANCE.md); this is the \
+     verification escape hatch and slow path."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-seed latency and solver stats.")
 
@@ -263,7 +273,7 @@ let cmd =
     Term.(
       const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction
       $ faults_flag $ mtbf $ mttr $ max_retries $ solver_budget $ solver_steps $ guard
-      $ verbose $ csv $ trace $ obs_summary)
+      $ no_incremental $ verbose $ csv $ trace $ obs_summary)
 
 (* [~catch:false] so bad flag values (unknown scheduler/setup) and
    unreadable/unwritable files exit 1 with a one-line error instead of

@@ -14,7 +14,7 @@ let parse_setup = function
 
 let sweep jobs resume no_cache cache_dir timeout retries schedulers mus setups seeds k
     horizon util fraction faults_on mtbf mttr max_retries solver_budget solver_steps
-    guard out quiet =
+    guard no_incremental out quiet =
   List.iter
     (fun s ->
       if not (List.mem s Schedulers.Registry.names) then
@@ -57,6 +57,7 @@ let sweep jobs resume no_cache cache_dir timeout retries schedulers mus setups s
       inc_capable_fraction = fraction;
       faults;
       resilience;
+      incremental = not no_incremental;
     }
   in
   let specs = Experiment.sweep base ~schedulers ~mus ~setups ~seeds in
@@ -208,6 +209,15 @@ let guard =
   in
   Arg.(value & opt int 0 & info [ "guard" ] ~docv:"N" ~doc)
 
+let no_incremental =
+  let doc =
+    "Disable incremental flow-network maintenance in every cell: rebuild the whole \
+     network and reallocate solver buffers each round instead of patching a persistent \
+     one.  Results are bit-identical either way (docs/PERFORMANCE.md), but the flag \
+     changes the cells' cache keys."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let out =
   let doc = "CSV output file (one row per cell, enumeration order)." in
   Arg.(value & opt string (Filename.concat "results" "sweep_results.csv")
@@ -238,7 +248,7 @@ let cmd =
     Term.(
       const sweep $ jobs $ resume $ no_cache $ cache_dir $ timeout $ retries $ schedulers
       $ mus $ setups $ seeds $ k $ horizon $ util $ fraction $ faults_flag $ mtbf $ mttr
-      $ max_retries $ solver_budget $ solver_steps $ guard $ out $ quiet)
+      $ max_retries $ solver_budget $ solver_steps $ guard $ no_incremental $ out $ quiet)
 
 (* [~catch:false] so bad arguments surface as our one-line error + exit 1
    instead of cmdliner's "internal error" backtrace. *)

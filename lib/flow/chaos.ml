@@ -21,7 +21,13 @@ let resolve () =
     match Sys.getenv_opt "HIRE_CHAOS" with
     | None | Some "" | Some "0" -> current := None
     | Some s ->
-        let seed = match int_of_string_opt s with Some n -> n | None -> Hashtbl.hash s in
+        (* Non-numeric values are hashed with an explicit fold rather
+           than the polymorphic [Hashtbl.hash] (banned from lib/flow by
+           [make lint-compare]); any stable string -> int map works. *)
+        let string_seed s =
+          String.fold_left (fun h c -> (((h * 31) + Char.code c) land 0x3FFFFFFF)) 5381 s
+        in
+        let seed = match int_of_string_opt s with Some n -> n | None -> string_seed s in
         activate ~seed
   end
 

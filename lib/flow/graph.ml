@@ -1,6 +1,11 @@
 (* Forward-star adjacency with paired residual arcs.  Arc 2k is the k-th
    user arc, arc 2k+1 its residual twin.  All per-arc attributes live in
-   growable parallel int arrays. *)
+   growable parallel int arrays.
+
+   The arena is designed for reuse across solver rounds: [clear] empties
+   it without freeing, and [mark]/[release] snapshot and restore a
+   prefix so a persistent caller (lib/hire/flow_network.ml) can keep a
+   long-lived topology part and rebuild only the per-round suffix. *)
 
 type arc = int
 
@@ -14,6 +19,7 @@ type t = {
   mutable cap : int array;         (* remaining residual capacity *)
   mutable cost_arr : int array;
   mutable orig_cap : int array;    (* initial capacity, for flow/reset *)
+  mutable n_negative : int;        (* forward arcs with cost < 0 *)
 }
 
 let create ?(node_hint = 16) ?(arc_hint = 64) () =
@@ -28,26 +34,36 @@ let create ?(node_hint = 16) ?(arc_hint = 64) () =
     cap = Array.make arc_hint 0;
     cost_arr = Array.make arc_hint 0;
     orig_cap = Array.make arc_hint 0;
+    n_negative = 0;
   }
 
-let grow_int_array arr len fill =
-  if Array.length arr >= len then arr
+let grow_int_array arr cap fill =
+  if Array.length arr >= cap then arr
   else begin
-    let narr = Array.make (max len (2 * Array.length arr)) fill in
+    let narr = Array.make cap fill in
     Array.blit arr 0 narr 0 (Array.length arr);
     narr
   end
 
+(* The target capacity is computed once so all parallel arrays grow to
+   the same size in one pass; doubling each independently would repeat
+   the blits and let lengths drift apart. *)
 let ensure_node_capacity t len =
-  t.head <- grow_int_array t.head len (-1);
-  t.supply_arr <- grow_int_array t.supply_arr len 0
+  if Array.length t.head < len then begin
+    let cap = max len (2 * Array.length t.head) in
+    t.head <- grow_int_array t.head cap (-1);
+    t.supply_arr <- grow_int_array t.supply_arr cap 0
+  end
 
 let ensure_arc_capacity t len =
-  t.next <- grow_int_array t.next len (-1);
-  t.to_ <- grow_int_array t.to_ len 0;
-  t.cap <- grow_int_array t.cap len 0;
-  t.cost_arr <- grow_int_array t.cost_arr len 0;
-  t.orig_cap <- grow_int_array t.orig_cap len 0
+  if Array.length t.next < len then begin
+    let cap = max len (2 * Array.length t.next) in
+    t.next <- grow_int_array t.next cap (-1);
+    t.to_ <- grow_int_array t.to_ cap 0;
+    t.cap <- grow_int_array t.cap cap 0;
+    t.cost_arr <- grow_int_array t.cost_arr cap 0;
+    t.orig_cap <- grow_int_array t.orig_cap cap 0
+  end
 
 let add_node t =
   ensure_node_capacity t (t.n + 1);
@@ -89,6 +105,7 @@ let add_arc t ~src ~dst ~cap ~cost =
   if cap < 0 then invalid_arg "Graph.add_arc: negative capacity";
   let fwd = add_half t ~src ~dst ~cap ~cost in
   let (_ : arc) = add_half t ~src:dst ~dst:src ~cap:0 ~cost:(-cost) in
+  if cost < 0 then t.n_negative <- t.n_negative + 1;
   fwd
 
 let set_supply t v s =
@@ -135,6 +152,71 @@ let corrupt_flow t a delta =
   t.cap.(a) <- t.cap.(a) - delta;
   t.cap.(rev a) <- t.cap.(rev a) + delta
 
+(* ------------------------------------------------------------------ *)
+(* In-place patching (incremental network maintenance)                 *)
+(* ------------------------------------------------------------------ *)
+
+let has_negative_cost t = t.n_negative > 0
+
+let set_cost t a c =
+  if not (is_forward a) then invalid_arg "Graph.set_cost: not a forward arc";
+  if a >= t.m then invalid_arg "Graph.set_cost: arc out of range";
+  let old = t.cost_arr.(a) in
+  if old <> c then begin
+    if old < 0 then t.n_negative <- t.n_negative - 1;
+    if c < 0 then t.n_negative <- t.n_negative + 1;
+    t.cost_arr.(a) <- c;
+    t.cost_arr.(rev a) <- -c
+  end
+
+let set_cap t a c =
+  if not (is_forward a) then invalid_arg "Graph.set_cap: not a forward arc";
+  if a >= t.m then invalid_arg "Graph.set_cap: arc out of range";
+  if c < 0 then invalid_arg "Graph.set_cap: negative capacity";
+  t.orig_cap.(a) <- c;
+  t.cap.(a) <- c;
+  t.cap.(rev a) <- 0
+
+let retire_node t v =
+  check_node t v "retire_node";
+  t.supply_arr.(v) <- 0;
+  t.head.(v) <- -1
+
+let clear t =
+  t.n <- 0;
+  t.m <- 0;
+  t.n_negative <- 0
+
+type mark = {
+  mk_n : int;
+  mk_m : int;
+  mk_head : int array;
+  mk_supply : int array;
+  mk_n_negative : int;
+}
+
+(* The head-array prefix must be part of the snapshot: residual twins of
+   later (suffix) arcs are linked into the adjacency lists of earlier
+   nodes, so truncating [m] alone would leave dangling arc ids at the
+   front of those lists. *)
+let mark t =
+  {
+    mk_n = t.n;
+    mk_m = t.m;
+    mk_head = Array.sub t.head 0 t.n;
+    mk_supply = Array.sub t.supply_arr 0 t.n;
+    mk_n_negative = t.n_negative;
+  }
+
+let release t mk =
+  if mk.mk_n > t.n || mk.mk_m > t.m then
+    invalid_arg "Graph.release: mark does not precede the current state";
+  t.n <- mk.mk_n;
+  t.m <- mk.mk_m;
+  Array.blit mk.mk_head 0 t.head 0 mk.mk_n;
+  Array.blit mk.mk_supply 0 t.supply_arr 0 mk.mk_n;
+  t.n_negative <- mk.mk_n_negative
+
 let iter_out t v f =
   check_node t v "iter_out";
   let a = ref t.head.(v) in
@@ -155,10 +237,12 @@ let iter_arcs t f =
     a := !a + 2
   done
 
-let reset_flow t =
+let reset_flows t =
   for a = 0 to t.m - 1 do
     t.cap.(a) <- t.orig_cap.(a)
   done
+
+let reset_flow = reset_flows
 
 let flow_cost t =
   let acc = ref 0 in

@@ -69,6 +69,54 @@ val push : t -> arc -> int -> unit
     @raise Invalid_argument if [a] is not a forward arc. *)
 val corrupt_flow : t -> arc -> int -> unit
 
+(** {2 In-place patching}
+
+    Primitives used by the incremental network builder
+    (lib/hire/flow_network.ml) to maintain a persistent graph across
+    scheduling rounds without reallocating.  None of them allocate. *)
+
+(** True iff the graph currently has at least one forward arc with a
+    strictly negative cost.  Maintained exactly by {!add_arc},
+    {!set_cost}, {!clear} and {!release}; solvers use it to skip the
+    Bellman-Ford/SPFA potential bootstrap when all costs are
+    non-negative. *)
+val has_negative_cost : t -> bool
+
+(** [set_cost t a c] rewrites the cost of forward arc [a] to [c] and its
+    residual twin to [-c], in place.
+    @raise Invalid_argument if [a] is not a live forward arc. *)
+val set_cost : t -> arc -> int -> unit
+
+(** [set_cap t a c] rewrites the capacity of forward arc [a] to [c],
+    resetting the pair to zero flow ([residual_cap a = c], twin 0).
+    @raise Invalid_argument if [a] is not a live forward arc or [c < 0]. *)
+val set_cap : t -> arc -> int -> unit
+
+(** [retire_node t v] detaches node [v]: zero supply, empty adjacency
+    list.  Arcs {e into} [v] are untouched — callers must also zero the
+    capacities of incoming arcs (or only retire nodes whose incoming
+    arcs live in a suffix about to be {!release}d). *)
+val retire_node : t -> int -> unit
+
+(** Empty the graph, keeping the backing arrays for reuse. *)
+val clear : t -> unit
+
+(** A watermark capturing the graph state at a point in time, for
+    prefix/suffix reuse: build the long-lived part, [mark], then per
+    round add a transient suffix and [release] back to the mark. *)
+type mark
+
+val mark : t -> mark
+
+(** [release t mk] truncates the graph back to the state captured by
+    [mk]: node/arc counts, adjacency heads, supplies and the
+    negative-cost counter are all restored.  Arc attributes (costs,
+    capacities) of the surviving prefix are {e not} restored — patch
+    those explicitly with {!set_cost}/{!set_cap}, and call
+    {!reset_flows} to restore prefix capacities consumed by a solve.
+    @raise Invalid_argument if the graph is behind the mark. *)
+val release : t -> mark -> unit
+
 (** [iter_out t v f] applies [f] to every residual arc (forward and
     reverse) leaving [v]. *)
 val iter_out : t -> int -> (arc -> unit) -> unit
@@ -79,6 +127,11 @@ val fold_out : t -> int -> 'a -> ('a -> arc -> 'a) -> 'a
 (** [iter_arcs t f] applies [f] to every forward arc. *)
 val iter_arcs : t -> (arc -> unit) -> unit
 
+(** Restore every arc to zero flow (capacities back to their original
+    values), undoing prior solves in place. *)
+val reset_flows : t -> unit
+
+(** Alias for {!reset_flows} (historical name). *)
 val reset_flow : t -> unit
 
 (** Total cost of the current flow: sum over forward arcs of

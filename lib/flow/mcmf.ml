@@ -1,5 +1,6 @@
 module Heap = Prelude.Heap
 module Clock = Prelude.Clock
+module Int_tbl = Prelude.Int_tbl
 
 type result = {
   shipped : int;
@@ -12,6 +13,40 @@ type result = {
 }
 
 let infinity_dist = max_int / 4
+
+(* Reusable solver workspace.  Arrays are grown (never shrunk) to the
+   instance size, so a scheduler that solves a similarly-sized network
+   every round allocates nothing on the hot path after warm-up.
+   [pot_nodes] records for how many nodes [pot] holds the potentials of
+   a completed solve; -1 means the potentials are garbage. *)
+type scratch = {
+  mutable excess : int array;
+  mutable pot : int array;
+  mutable dist : int array;
+  mutable parent : int array;
+  heap : Heap.Int_pair.t;
+  mutable pot_nodes : int;
+}
+
+let scratch () =
+  {
+    excess = [||];
+    pot = [||];
+    dist = [||];
+    parent = [||];
+    heap = Heap.Int_pair.create ();
+    pot_nodes = -1;
+  }
+
+let ensure_scratch s n =
+  if Array.length s.excess < n then begin
+    let cap = max n (2 * Array.length s.excess) in
+    s.excess <- Array.make cap 0;
+    s.pot <- Array.make cap 0;
+    s.dist <- Array.make cap 0;
+    s.parent <- Array.make cap 0;
+    s.pot_nodes <- -1
+  end
 
 (* SPFA (queue-based Bellman–Ford) from every positive-excess node; used
    only to bootstrap potentials when negative arc costs are present. *)
@@ -45,21 +80,25 @@ let spfa g excess =
   done;
   dist
 
-(* Multi-source Dijkstra on reduced costs.  Returns (dist, parent_arc);
-   parent_arc.(v) is the residual arc used to reach v, or -1. *)
-let dijkstra g excess pot dist parent =
+(* Multi-source Dijkstra on reduced costs.  Fills [dist]/[parent];
+   parent.(v) is the residual arc used to reach v, or -1.  The heap
+   pops strictly by key with generic-heap tie order, so the search —
+   and therefore the tie-breaking between equal-cost paths — matches
+   the historical tuple-heap implementation exactly. *)
+let dijkstra g excess pot dist parent heap =
   let n = Graph.node_count g in
   Array.fill dist 0 n infinity_dist;
   Array.fill parent 0 n (-1);
-  let heap = Heap.create ~cmp:(fun (d1, _) (d2, _) -> compare (d1 : int) d2) in
+  Heap.Int_pair.clear heap;
   for v = 0 to n - 1 do
     if excess.(v) > 0 then begin
       dist.(v) <- 0;
-      Heap.push heap (0, v)
+      Heap.Int_pair.push heap 0 v
     end
   done;
-  while not (Heap.is_empty heap) do
-    let d, v = Heap.pop heap in
+  while not (Heap.Int_pair.is_empty heap) do
+    let d = Heap.Int_pair.min_key heap in
+    let v = Heap.Int_pair.pop heap in
     if d = dist.(v) then
       Graph.iter_out g v (fun a ->
           if Graph.residual_cap g a > 0 then begin
@@ -73,12 +112,29 @@ let dijkstra g excess pot dist parent =
             if nd < dist.(u) then begin
               dist.(u) <- nd;
               parent.(u) <- a;
-              Heap.push heap (nd, u)
+              Heap.Int_pair.push heap nd u
             end
           end)
   done
 
-let solve ?budget g =
+(* Carried-over potentials are usable only if every residual arc still
+   has non-negative reduced cost — otherwise Dijkstra's clamp would
+   silently distort path costs.  O(n + m) scan. *)
+let warm_potentials_valid g pot =
+  let n = Graph.node_count g in
+  let ok = ref true in
+  let v = ref 0 in
+  while !ok && !v < n do
+    Graph.iter_out g !v (fun a ->
+        if !ok && Graph.residual_cap g a > 0 then begin
+          let u = Graph.dst g a in
+          if Graph.cost g a + pot.(!v) - pot.(u) < 0 then ok := false
+        end);
+    incr v
+  done;
+  !ok
+
+let solve ?budget ?scratch:s ?(warm = false) g =
   let t0 = Clock.now () in
   let bstate = Option.map Budget.start budget in
   (* Chaos only ever perturbs budgeted solves: an unbudgeted caller has
@@ -101,19 +157,43 @@ let solve ?budget g =
     else f ()
   in
   let n = Graph.node_count g in
-  let excess = Array.init n (Graph.supply g) in
-  let pot = Array.make n 0 in
-  (* Bootstrap potentials if any arc cost is negative. *)
-  let has_negative = ref false in
-  Graph.iter_arcs g (fun a -> if Graph.cost g a < 0 then has_negative := true);
-  if !has_negative then begin
-    let dist = staged t_spfa (fun () -> spfa g excess) in
-    for v = 0 to n - 1 do
-      if dist.(v) < infinity_dist then pot.(v) <- dist.(v)
-    done
+  let s, scratch_reused =
+    match s with
+    | Some s ->
+        let reused = Array.length s.excess >= n in
+        ensure_scratch s n;
+        (s, reused)
+    | None ->
+        let s = scratch () in
+        ensure_scratch s n;
+        (s, false)
+  in
+  let excess = s.excess and pot = s.pot and dist = s.dist and parent = s.parent in
+  for v = 0 to n - 1 do
+    excess.(v) <- Graph.supply g v
+  done;
+  (* Potentials: reuse last round's when requested and still valid,
+     otherwise start from zero and bootstrap with SPFA only if the
+     graph actually has a negative-cost arc (tracked by the graph, no
+     O(m) rescan here). *)
+  let warm_requested = warm && s.pot_nodes = n in
+  let warm_hit = warm_requested && warm_potentials_valid g pot in
+  if not warm_hit then begin
+    Array.fill pot 0 n 0;
+    if Graph.has_negative_cost g then begin
+      let bf = staged t_spfa (fun () -> spfa g excess) in
+      for v = 0 to n - 1 do
+        if bf.(v) < infinity_dist then pot.(v) <- bf.(v)
+      done
+    end
   end;
-  let dist = Array.make n infinity_dist in
-  let parent = Array.make n (-1) in
+  s.pot_nodes <- -1;
+  if instrument then begin
+    if scratch_reused then Obs.Registry.incr (Obs.Registry.counter "flow.scratch_reuse");
+    if warm then
+      Obs.Registry.incr
+        (Obs.Registry.counter (if warm_hit then "flow.warm_hit" else "flow.warm_miss"))
+  end;
   let shipped = ref 0 in
   let augmentations = ref 0 in
   let remaining_supply () =
@@ -141,7 +221,7 @@ let solve ?budget g =
        salvageable partial solution on the graph. *)
     if not (within_budget ()) then continue_ := false
     else begin
-      staged t_dijkstra (fun () -> dijkstra g excess pot dist parent);
+      staged t_dijkstra (fun () -> dijkstra g excess pot dist parent s.heap);
       (* Nearest reachable deficit node. *)
       let best = ref (-1) in
       for v = 0 to n - 1 do
@@ -181,6 +261,10 @@ let solve ?budget g =
               if remaining_supply () = 0 then continue_ := false)
     end
   done;
+  (* The potentials of a completed (even budget-truncated) solve are
+     valid for this graph size; record that so a warm caller can try to
+     reuse them next round. *)
+  s.pot_nodes <- n;
   let degraded = !exhausted <> None in
   if degraded && Obs.enabled () then begin
     Obs.Registry.incr (Obs.Registry.counter "flow.budget_exhausted");
@@ -199,6 +283,8 @@ let solve ?budget g =
       nodes = n;
       arcs = Graph.arc_count g;
       augmentations = !augmentations;
+      scratch_reused;
+      warm_start = warm_hit;
       stages =
         (if instrument then
            [ ("spfa", !t_spfa); ("dijkstra", !t_dijkstra); ("augment", !t_augment) ]
@@ -222,10 +308,10 @@ type path = { nodes : int list; amount : int }
 let decompose g =
   let n = Graph.node_count g in
   (* Remaining flow per forward arc, consumed as paths are peeled off. *)
-  let rem = Hashtbl.create 256 in
+  let rem = Int_tbl.create 256 in
   Graph.iter_arcs g (fun a ->
       let f = Graph.flow g a in
-      if f > 0 then Hashtbl.replace rem a f);
+      if f > 0 then Int_tbl.replace rem a f);
   let rem_supply = Array.init n (fun v -> max 0 (Graph.supply g v)) in
   let rem_demand = Array.init n (fun v -> max 0 (-Graph.supply g v)) in
   let out_with_flow v =
@@ -233,7 +319,7 @@ let decompose g =
         match acc with
         | Some _ -> acc
         | None ->
-            if Graph.is_forward a && Hashtbl.mem rem a && Hashtbl.find rem a > 0 then Some a
+            if Graph.is_forward a && Int_tbl.mem rem a && Int_tbl.find rem a > 0 then Some a
             else None)
   in
   let paths = ref [] in
@@ -251,7 +337,7 @@ let decompose g =
                  node; treat as sink with whatever bottleneck we have. *)
               (List.rev (v :: acc_nodes), List.rev acc_arcs, bottleneck)
           | Some a ->
-              let f = Hashtbl.find rem a in
+              let f = Int_tbl.find rem a in
               walk (Graph.dst g a) (v :: acc_nodes) (a :: acc_arcs) (min bottleneck f)
       in
       let nodes, arcs, bottleneck = walk source [] [] rem_supply.(source) in
@@ -259,8 +345,8 @@ let decompose g =
       else begin
         List.iter
           (fun a ->
-            let f = Hashtbl.find rem a - bottleneck in
-            if f <= 0 then Hashtbl.remove rem a else Hashtbl.replace rem a f)
+            let f = Int_tbl.find rem a - bottleneck in
+            if f <= 0 then Int_tbl.remove rem a else Int_tbl.replace rem a f)
           arcs;
         let sink = List.nth nodes (List.length nodes - 1) in
         rem_supply.(source) <- rem_supply.(source) - bottleneck;

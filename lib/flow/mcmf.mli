@@ -40,13 +40,30 @@ type result = {
           when [Obs.enabled ()] held during the solve *)
 }
 
-(** [solve ?budget g] computes a min-cost max-flow on [g], mutating arc
-    flows in place.  Supplies/demands are read from the graph's node
-    supplies.  [budget] bounds the solve (checked before every
-    augmentation); without one the solve runs to completion and
-    [degraded] is always [false] — and the chaos harness never touches
-    the solve. *)
-val solve : ?budget:Budget.t -> Graph.t -> result
+(** Reusable solver workspace: excess/potential/distance/parent arrays
+    and the Dijkstra heap.  Pass the same scratch to successive [solve]
+    calls on similarly-sized graphs and the solver allocates nothing on
+    the hot path after the first round.  Reusing scratch never changes
+    results — the workspace is (re)initialised at every solve. *)
+type scratch
+
+val scratch : unit -> scratch
+
+(** [solve ?budget ?scratch ?warm g] computes a min-cost max-flow on
+    [g], mutating arc flows in place.  Supplies/demands are read from
+    the graph's node supplies.  [budget] bounds the solve (checked
+    before every augmentation); without one the solve runs to
+    completion and [degraded] is always [false] — and the chaos harness
+    never touches the solve.
+
+    [scratch] provides a reusable workspace (exact; see {!scratch}).
+    [warm] (default [false]) additionally carries the node potentials of
+    the previous solve in [scratch] into this one when a reduced-cost
+    scan proves them still valid.  Warm potentials can change which of
+    several {e equally-cheap} shortest paths Dijkstra prefers, so warm
+    starts preserve objective values but not necessarily tie-breaks;
+    leave it off when bit-identical placements matter. *)
+val solve : ?budget:Budget.t -> ?scratch:scratch -> ?warm:bool -> Graph.t -> result
 
 (** A single decomposed flow path: node sequence from a supply node to a
     demand node, and the amount carried. *)

@@ -11,6 +11,7 @@ type spec = {
   inc_capable_fraction : float option;
   faults : Faults.spec option;
   resilience : Hire.Hire_scheduler.resilience option;
+  incremental : bool;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     inc_capable_fraction = Some 0.15;
     faults = None;
     resilience = None;
+    incremental = true;
   }
 
 let run spec =
@@ -50,8 +52,8 @@ let run spec =
   let jobs = Workload.Trace_gen.generate trace_config trace_rng ~horizon:spec.horizon in
   let scenario = Sim.Scenario.build store scenario_rng ~mu:spec.mu jobs in
   let sched =
-    Schedulers.Registry.create ?resilience:spec.resilience spec.scheduler ~seed:spec.seed
-      cluster
+    Schedulers.Registry.create ?resilience:spec.resilience ~incremental:spec.incremental
+      spec.scheduler ~seed:spec.seed cluster
   in
   let faults_plan =
     Option.map
@@ -101,7 +103,8 @@ let describe spec =
     (Sim.Cluster.inc_setup_to_string spec.setup)
     spec.k spec.seed
     (match spec.faults with None -> "" | Some _ -> " +faults")
-    ^ match spec.resilience with None -> "" | Some _ -> " +resilience"
+    ^ (match spec.resilience with None -> "" | Some _ -> " +resilience")
+    ^ if spec.incremental then "" else " -incremental"
 
 (* Bump when the meaning of a cell changes without its spec changing
    (simulator semantics, trace generator, metrics definitions, ...) so
@@ -145,4 +148,8 @@ let cell_key spec =
               match max_steps with None -> "none" | Some n -> string_of_int n )
       in
       addf "|resilience=wall:%s;steps:%s;guard:%d" wall steps guard_every);
+  (* Incremental network maintenance produces bit-identical results, so
+     the default (on) keeps the historical key; only the explicit
+     escape hatch gets its own cells. *)
+  if not spec.incremental then addf "|incremental=off";
   Digest.to_hex (Digest.string (Buffer.contents b))

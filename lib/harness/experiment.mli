@@ -28,6 +28,12 @@ type spec = {
           (docs/RESILIENCE.md); [None] (the default) keeps the legacy
           single-unbounded-solve behaviour and the cell's pre-resilience
           cache key *)
+  incremental : bool;
+      (** [true] (the default) lets HIRE variants patch a persistent
+          flow network between rounds instead of rebuilding it
+          (docs/PERFORMANCE.md).  Results are bit-identical either way,
+          so the default keeps the historical cache key; [false] — the
+          verification escape hatch — gets separate cells. *)
 }
 
 val default : spec

@@ -21,7 +21,7 @@ let validate store t =
   let ( let* ) r f = Result.bind r f in
   let* () =
     let ids = List.map (fun c -> c.comp_id) t.composites in
-    if List.length (List.sort_uniq compare ids) <> List.length ids then
+    if List.length (List.sort_uniq String.compare ids) <> List.length ids then
       Error "duplicate composite ids"
     else Ok ()
   in

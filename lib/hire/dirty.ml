@@ -1,0 +1,50 @@
+(* Dirty-set tracker for incremental flow-network maintenance.
+
+   The cluster marks a node whenever a charge/release changes its
+   ledgers, and marks [structural] on liveness or support changes
+   (failure/recovery).  The network builder folds the marks into the
+   persistent graph and then [clear]s them.  Node ids are topology ids;
+   servers and switches get separate mark sets because they patch
+   different arcs (Ms->K vs Mn->K). *)
+
+type t = {
+  server_dirty : bool array;
+  switch_dirty : bool array;
+  mutable server_list : int list;
+  mutable switch_list : int list;
+  mutable structural : bool;
+}
+
+let create ~node_count =
+  {
+    server_dirty = Array.make node_count false;
+    switch_dirty = Array.make node_count false;
+    server_list = [];
+    switch_list = [];
+    (* Start structural so the first build is always a full one. *)
+    structural = true;
+  }
+
+let mark_server t id =
+  if not t.server_dirty.(id) then begin
+    t.server_dirty.(id) <- true;
+    t.server_list <- id :: t.server_list
+  end
+
+let mark_switch t id =
+  if not t.switch_dirty.(id) then begin
+    t.switch_dirty.(id) <- true;
+    t.switch_list <- id :: t.switch_list
+  end
+
+let mark_structural t = t.structural <- true
+let structural t = t.structural
+let iter_servers t f = List.iter f t.server_list
+let iter_switches t f = List.iter f t.switch_list
+
+let clear t =
+  List.iter (fun id -> t.server_dirty.(id) <- false) t.server_list;
+  List.iter (fun id -> t.switch_dirty.(id) <- false) t.switch_list;
+  t.server_list <- [];
+  t.switch_list <- [];
+  t.structural <- false

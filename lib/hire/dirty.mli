@@ -1,0 +1,29 @@
+(** Dirty-set tracker driving incremental flow-network maintenance.
+
+    The resource owner (lib/sim/cluster.ml) marks nodes whose ledgers
+    changed since the last scheduling round; {!Flow_network.build}
+    patches exactly those nodes' arcs instead of rebuilding the whole
+    topology part, then calls {!clear}.  Marking is idempotent and
+    allocation-light (a flag array plus a list of marked ids).
+
+    [structural] covers changes that alter the {e shape} of the network
+    rather than arc attributes — node failure/recovery, INC support
+    changes — and forces the next build to rebuild the topology part
+    from scratch.  A fresh tracker starts structural so the first build
+    is always full. *)
+
+type t
+
+(** [create ~node_count] makes a tracker for topology ids
+    [0 .. node_count-1], initially marked structural. *)
+val create : node_count:int -> t
+
+val mark_server : t -> int -> unit
+val mark_switch : t -> int -> unit
+val mark_structural : t -> unit
+val structural : t -> bool
+val iter_servers : t -> (int -> unit) -> unit
+val iter_switches : t -> (int -> unit) -> unit
+
+(** Forget all marks (called by the builder after folding them in). *)
+val clear : t -> unit

@@ -1,6 +1,7 @@
 module Graph = Flow.Graph
 module Mcmf = Flow.Mcmf
 module Vec = Prelude.Vec
+module Int_tbl = Prelude.Int_tbl
 module Fat_tree = Topology.Fat_tree
 
 type node_role =
@@ -25,16 +26,34 @@ let pp_role fmt = function
   | Machine_inc s -> Format.fprintf fmt "Mn(%d)" s
   | Sink -> Format.pp_print_string fmt "K"
 
-type t = { graph : Graph.t; roles : (int, node_role) Hashtbl.t; sink : int }
+(* Roles live in a flat int array rather than a hashtable: tag in the
+   low 4 bits, payload id shifted above.  -1 means "no role"; entries at
+   or beyond [valid_n] are stale leftovers from a previous (larger)
+   round and must be ignored. *)
+let encode_role = function
+  | Sink -> 0
+  | Super -> 1
+  | Flavor_sel j -> (j lsl 4) lor 2
+  | Group tg -> (tg lsl 4) lor 3
+  | Postpone j -> (j lsl 4) lor 4
+  | Aux_server s -> (s lsl 4) lor 5
+  | Aux_inc s -> (s lsl 4) lor 6
+  | Machine_server s -> (s lsl 4) lor 7
+  | Machine_inc s -> (s lsl 4) lor 8
 
-let graph t = t.graph
-
-let role t v =
-  match Hashtbl.find_opt t.roles v with
-  | Some r -> r
-  | None -> invalid_arg (Printf.sprintf "Flow_network.role: unknown node %d" v)
-
-let size t = (Graph.node_count t.graph, Graph.arc_count t.graph)
+let decode_role packed =
+  let id = packed asr 4 in
+  match packed land 15 with
+  | 0 -> Sink
+  | 1 -> Super
+  | 2 -> Flavor_sel id
+  | 3 -> Group id
+  | 4 -> Postpone id
+  | 5 -> Aux_server id
+  | 6 -> Aux_inc id
+  | 7 -> Machine_server id
+  | 8 -> Machine_inc id
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* Per-round aggregates                                               *)
@@ -45,33 +64,155 @@ let size t = (Graph.node_count t.graph, Graph.arc_count t.graph)
    rule for subtree shortcuts; the upper bound prices them. *)
 type tor_agg = { n_servers : int; min_avail : Vec.t; max_avail : Vec.t }
 
-let tor_aggregates (view : View.t) =
+let compute_tor_agg (view : View.t) tor =
   let topo = view.topo in
-  let aggs = Hashtbl.create 64 in
-  Array.iter
-    (fun tor ->
-      (* Dead servers are invisible: they must not shape the aggregate
-         bounds, or the ToR shortcut could admit flow the subtree cannot
-         host. *)
-      let servers =
-        Array.of_list (List.filter view.alive (Array.to_list (Fat_tree.servers_under topo tor)))
-      in
-      if Array.length servers > 0 then begin
-        let first = view.server_available servers.(0) in
-        let min_avail = Vec.copy first and max_avail = Vec.copy first in
-        Array.iter
-          (fun s ->
-            let a = view.server_available s in
-            Array.iteri
-              (fun i x ->
-                if x < min_avail.(i) then min_avail.(i) <- x;
-                if x > max_avail.(i) then max_avail.(i) <- x)
-              a)
-          servers;
-        Hashtbl.replace aggs tor { n_servers = Array.length servers; min_avail; max_avail }
-      end)
-    (Fat_tree.tor_switches topo);
-  aggs
+  (* Dead servers are invisible: they must not shape the aggregate
+     bounds, or the ToR shortcut could admit flow the subtree cannot
+     host. *)
+  let servers =
+    Array.of_list (List.filter view.alive (Array.to_list (Fat_tree.servers_under topo tor)))
+  in
+  if Array.length servers = 0 then None
+  else begin
+    let first = view.server_available servers.(0) in
+    let min_avail = Vec.copy first and max_avail = Vec.copy first in
+    Array.iter
+      (fun s ->
+        let a = view.server_available s in
+        Array.iteri
+          (fun i x ->
+            if x < min_avail.(i) then min_avail.(i) <- x;
+            if x > max_avail.(i) then max_avail.(i) <- x)
+          a)
+      servers;
+    Some { n_servers = Array.length servers; min_avail; max_avail }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent builder                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Watermark of the topology ("prefix") part of the network: everything
+   up to and including the Ms/Ns/Nn/Mn nodes and topology arcs.  The
+   per-round job part is a suffix appended after the mark and discarded
+   by [Graph.release] at the start of the next build. *)
+type prefix = {
+  mark : Graph.mark;
+  p_arcs : int;  (* forward-arc count at the mark *)
+  mutable big : int;  (* switch-switch arc capacity used by this prefix *)
+}
+
+type builder = {
+  g : Graph.t;
+  mutable roles : int array;  (* packed node roles, -1 = none *)
+  mutable valid_n : int;  (* nodes with meaningful roles this round *)
+  mutable prefix : prefix option;
+  (* Topology-id -> graph-node / arc maps, -1 = absent. *)
+  mutable ms_node : int array;
+  mutable ns_node : int array;
+  mutable nn_node : int array;
+  mutable mn_node : int array;
+  mutable ms_arc : int array;  (* Ms -> K arc, patched on server dirt *)
+  mutable mn_arc : int array;  (* Mn -> K arc, patched on switch dirt *)
+  mutable big_arcs : int array;  (* switch-switch arcs carrying [big] *)
+  mutable n_big : int;
+  mutable tor_aggs : tor_agg option array;  (* by ToR switch id *)
+  mutable tor_stamp : int array;  (* dedupe per-round ToR recomputes *)
+  mutable stamp : int;
+  (* Stats. *)
+  mutable builds : int;
+  mutable full_rebuilds : int;
+  mutable last_full : bool;
+  mutable last_touched : int;
+  mutable last_total : int;
+}
+
+let create_builder () =
+  {
+    g = Graph.create ~node_hint:1024 ~arc_hint:8192 ();
+    roles = [||];
+    valid_n = 0;
+    prefix = None;
+    ms_node = [||];
+    ns_node = [||];
+    nn_node = [||];
+    mn_node = [||];
+    ms_arc = [||];
+    mn_arc = [||];
+    big_arcs = [||];
+    n_big = 0;
+    tor_aggs = [||];
+    tor_stamp = [||];
+    stamp = 0;
+    builds = 0;
+    full_rebuilds = 0;
+    last_full = true;
+    last_touched = 0;
+    last_total = 0;
+  }
+
+let ensure_topology b node_count =
+  if Array.length b.ms_node <> node_count then begin
+    b.ms_node <- Array.make node_count (-1);
+    b.ns_node <- Array.make node_count (-1);
+    b.nn_node <- Array.make node_count (-1);
+    b.mn_node <- Array.make node_count (-1);
+    b.ms_arc <- Array.make node_count (-1);
+    b.mn_arc <- Array.make node_count (-1);
+    b.tor_aggs <- Array.make node_count None;
+    b.tor_stamp <- Array.make node_count (-1);
+    b.prefix <- None
+  end
+
+let ensure_roles b n =
+  if Array.length b.roles < n then begin
+    let cap = max n (2 * Array.length b.roles) in
+    let arr = Array.make cap (-1) in
+    Array.blit b.roles 0 arr 0 (Array.length b.roles);
+    b.roles <- arr
+  end
+
+let push_big b a =
+  if b.n_big = Array.length b.big_arcs then begin
+    let cap = max 64 (2 * Array.length b.big_arcs) in
+    let arr = Array.make cap 0 in
+    Array.blit b.big_arcs 0 arr 0 b.n_big;
+    b.big_arcs <- arr
+  end;
+  b.big_arcs.(b.n_big) <- a;
+  b.n_big <- b.n_big + 1
+
+type t = { b : builder; sink : int }
+
+let graph t = t.b.g
+
+let role_opt t v =
+  if v >= 0 && v < t.b.valid_n && t.b.roles.(v) >= 0 then Some (decode_role t.b.roles.(v))
+  else None
+
+let role t v =
+  match role_opt t v with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Flow_network.role: unknown node %d" v)
+
+let size t = (Graph.node_count t.b.g, Graph.arc_count t.b.g)
+
+type build_stats = {
+  full : bool;
+  touched_arcs : int;
+  total_arcs : int;
+  builds : int;
+  full_rebuilds : int;
+}
+
+let stats t =
+  {
+    full = t.b.last_full;
+    touched_arcs = t.b.last_touched;
+    total_arcs = t.b.last_total;
+    builds = t.b.builds;
+    full_rebuilds = t.b.full_rebuilds;
+  }
 
 (* Locality context of one task group: inputs of Φloc. *)
 type loc_ctx = {
@@ -137,17 +278,17 @@ type shortcut = {
 
 let trim_shortcuts ~(params : Cost_model.params) candidates =
   let arr = Array.of_list candidates in
-  Array.sort (fun a b -> compare a.cost b.cost) arr;
+  Array.sort (fun a b -> Int.compare a.cost b.cost) arr;
   Array.to_list (Array.sub arr 0 (min (Array.length arr) params.max_shortcuts))
 
-let server_shortcuts (view : View.t) census tor_aggs ~params ~ctx ~phi_prio
-    (ts : Pending.tg_state) =
+let server_shortcuts (view : View.t) census (tor_aggs : tor_agg option array) ~params ~ctx
+    ~phi_prio (ts : Pending.tg_state) =
   let topo = view.topo in
   let demand = ts.tg.Poly_req.demand in
   let candidates = ref [] in
   Array.iter
     (fun tor ->
-      match Hashtbl.find_opt tor_aggs tor with
+      match tor_aggs.(tor) with
       | None -> ()
       | Some agg ->
           if Vec.fits ~demand ~available:agg.min_avail then begin
@@ -232,22 +373,136 @@ let network_shortcuts (view : View.t) census ~(params : Cost_model.params) ~ctx 
 (* Build                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
+let mn_cost (view : View.t) s (params : Cost_model.params) =
+  Cost_model.mn_to_k
+    ~util:(Sharing.utilization view.sharing s)
+    ~phi_tor:(Cost_model.phi_tor view.topo ~switch:s)
+    ~phi_floor:
+      (Cost_model.phi_floor_p
+         ~active:(Sharing.n_active view.sharing s)
+         ~max_possible:(List.length (Sharing.supported_services view.sharing s)))
+    params
+
+(* Rebuild the topology prefix from scratch: sink, machine nodes for
+   alive servers / supported switches, the two topology copies, and the
+   downward arcs.  Node and arc creation order is the contract here —
+   the patch path below reuses these ids, so any reordering breaks the
+   full-vs-incremental identity. *)
+let build_prefix b (view : View.t) ~big ~(params : Cost_model.params) mk =
+  let g = b.g in
   let topo = view.topo in
-  let g = Graph.create ~node_hint:1024 ~arc_hint:8192 () in
-  let roles = Hashtbl.create 1024 in
+  let node_count = Fat_tree.node_count topo in
+  Graph.clear g;
+  Array.fill b.ms_node 0 node_count (-1);
+  Array.fill b.ns_node 0 node_count (-1);
+  Array.fill b.nn_node 0 node_count (-1);
+  Array.fill b.mn_node 0 node_count (-1);
+  Array.fill b.ms_arc 0 node_count (-1);
+  Array.fill b.mn_arc 0 node_count (-1);
+  b.n_big <- 0;
+  let sink = mk Sink in
+  (* Dead servers get no machine node at all: without an Ms→K arc no
+     path can end there, and the ToR topology arcs below skip them. *)
+  Array.iter
+    (fun s ->
+      if view.View.alive s then begin
+        let v = mk (Machine_server s) in
+        b.ms_node.(s) <- v;
+        let cost = Cost_model.ms_to_k ~util:(View.server_utilization view s) params in
+        b.ms_arc.(s) <- Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost
+      end)
+    (Fat_tree.servers topo);
+  Array.iter
+    (fun s ->
+      b.ns_node.(s) <- mk (Aux_server s);
+      b.nn_node.(s) <- mk (Aux_inc s))
+    (Fat_tree.switches topo);
+  Array.iter
+    (fun s ->
+      if view.View.alive s && Sharing.supported_services view.sharing s <> [] then begin
+        let v = mk (Machine_inc s) in
+        b.mn_node.(s) <- v;
+        ignore (Graph.add_arc g ~src:b.nn_node.(s) ~dst:v ~cap:1 ~cost:0);
+        b.mn_arc.(s) <- Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost:(mn_cost view s params)
+      end)
+    (Fat_tree.switches topo);
+  (* Topology arcs, downward. *)
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun child ->
+          if Fat_tree.is_server topo child then begin
+            let dst = b.ms_node.(child) in
+            if dst >= 0 then ignore (Graph.add_arc g ~src:b.ns_node.(s) ~dst ~cap:1 ~cost:0)
+            (* dead server: unreachable by construction *)
+          end
+          else begin
+            push_big b (Graph.add_arc g ~src:b.ns_node.(s) ~dst:b.ns_node.(child) ~cap:big ~cost:0);
+            push_big b (Graph.add_arc g ~src:b.nn_node.(s) ~dst:b.nn_node.(child) ~cap:big ~cost:0)
+          end)
+        (Fat_tree.children topo s))
+    (Fat_tree.switches topo);
+  Array.iter (fun tor -> b.tor_aggs.(tor) <- compute_tor_agg view tor) (Fat_tree.tor_switches topo);
+  b.prefix <- Some { mark = Graph.mark g; p_arcs = Graph.arc_count g; big };
+  sink
+
+(* Rewind the graph to the topology prefix and patch only the arcs whose
+   inputs changed: Ms→K / Mn→K costs of dirty nodes, switch-switch
+   capacities when [big] moved, and the ToR aggregates of dirty servers.
+   The resulting arrays are element-for-element identical to what
+   [build_prefix] would produce from the same cluster state, which is
+   what makes incremental solves bit-identical to full rebuilds. *)
+let patch_prefix b (view : View.t) p d ~big ~(params : Cost_model.params) touched =
+  let g = b.g in
+  let topo = view.topo in
+  Graph.release g p.mark;
+  (* Undo last round's flow (and any chaos corruption) on prefix arcs. *)
+  Graph.reset_flows g;
+  if p.big <> big then begin
+    for i = 0 to b.n_big - 1 do
+      Graph.set_cap g b.big_arcs.(i) big
+    done;
+    touched := !touched + b.n_big;
+    p.big <- big
+  end;
+  Dirty.iter_servers d (fun s ->
+      let a = b.ms_arc.(s) in
+      if a >= 0 then begin
+        Graph.set_cost g a (Cost_model.ms_to_k ~util:(View.server_utilization view s) params);
+        incr touched
+      end);
+  Dirty.iter_switches d (fun s ->
+      let a = b.mn_arc.(s) in
+      if a >= 0 then begin
+        Graph.set_cost g a (mn_cost view s params);
+        incr touched
+      end);
+  (* Re-aggregate only the ToRs owning a dirty server (deduped). *)
+  b.stamp <- b.stamp + 1;
+  Dirty.iter_servers d (fun s ->
+      let tor = Fat_tree.tor_of_server topo s in
+      if b.tor_stamp.(tor) <> b.stamp then begin
+        b.tor_stamp.(tor) <- b.stamp;
+        b.tor_aggs.(tor) <- compute_tor_agg view tor
+      end)
+
+let build ?builder (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
+  let topo = view.topo in
+  let b = match builder with Some b -> b | None -> create_builder () in
+  ensure_topology b (Fat_tree.node_count topo);
+  let g = b.g in
   let mk r =
     let v = Graph.add_node g in
-    Hashtbl.replace roles v r;
+    ensure_roles b (v + 1);
+    b.roles.(v) <- encode_role r;
     v
   in
-  let sink = mk Sink in
 
   (* --- select jobs and task groups, FIFO by arrival, bounded --- *)
   let jobs =
     List.filter Pending.has_pending_work jobs
     |> List.sort (fun (a : Pending.job_state) b ->
-           compare a.poly.Poly_req.arrival b.poly.Poly_req.arrival)
+           Float.compare a.poly.Poly_req.arrival b.poly.Poly_req.arrival)
   in
   let budget = ref params.max_queue_tgs in
   let selected =
@@ -285,67 +540,31 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
   in
   let big = total_supply + List.length selected + 1 in
 
-  (* --- machines and the two topology copies --- *)
-  (* Dead servers get no machine node at all: without an Ms→K arc no
-     path can end there, and the ToR topology arcs below skip them. *)
-  let ms_tbl = Hashtbl.create 256 in
-  Array.iter
-    (fun s ->
-      if view.View.alive s then begin
-        let v = mk (Machine_server s) in
-        Hashtbl.replace ms_tbl s v;
-        let cost = Cost_model.ms_to_k ~util:(View.server_utilization view s) params in
-        ignore (Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost)
-      end)
-    (Fat_tree.servers topo);
-  let ns_tbl = Hashtbl.create 128 and nn_tbl = Hashtbl.create 128 in
-  let mn_tbl = Hashtbl.create 128 in
-  Array.iter
-    (fun s ->
-      Hashtbl.replace ns_tbl s (mk (Aux_server s));
-      Hashtbl.replace nn_tbl s (mk (Aux_inc s)))
-    (Fat_tree.switches topo);
-  Array.iter
-    (fun s ->
-      if view.View.alive s && Sharing.supported_services view.sharing s <> [] then begin
-        let v = mk (Machine_inc s) in
-        Hashtbl.replace mn_tbl s v;
-        ignore (Graph.add_arc g ~src:(Hashtbl.find nn_tbl s) ~dst:v ~cap:1 ~cost:0);
-        let cost =
-          Cost_model.mn_to_k
-            ~util:(Sharing.utilization view.sharing s)
-            ~phi_tor:(Cost_model.phi_tor topo ~switch:s)
-            ~phi_floor:
-              (Cost_model.phi_floor_p
-                 ~active:(Sharing.n_active view.sharing s)
-                 ~max_possible:(List.length (Sharing.supported_services view.sharing s)))
-            params
-        in
-        ignore (Graph.add_arc g ~src:v ~dst:sink ~cap:1 ~cost)
-      end)
-    (Fat_tree.switches topo);
-  (* Topology arcs, downward. *)
-  Array.iter
-    (fun s ->
-      List.iter
-        (fun child ->
-          if Fat_tree.is_server topo child then (
-            match Hashtbl.find_opt ms_tbl child with
-            | Some dst ->
-                ignore (Graph.add_arc g ~src:(Hashtbl.find ns_tbl s) ~dst ~cap:1 ~cost:0)
-            | None -> () (* dead server: unreachable by construction *))
-          else begin
-            ignore
-              (Graph.add_arc g ~src:(Hashtbl.find ns_tbl s) ~dst:(Hashtbl.find ns_tbl child)
-                 ~cap:big ~cost:0);
-            ignore
-              (Graph.add_arc g ~src:(Hashtbl.find nn_tbl s) ~dst:(Hashtbl.find nn_tbl child)
-                 ~cap:big ~cost:0)
-          end)
-        (Fat_tree.children topo s))
-    (Fat_tree.switches topo);
+  (* --- topology part: patch the persistent prefix or rebuild it --- *)
+  let touched = ref 0 in
+  let dirt =
+    match view.View.dirty with
+    | Some d when not (Dirty.structural d) -> Some d
+    | _ -> None
+  in
+  let sink =
+    match (b.prefix, dirt) with
+    | Some p, Some d ->
+        patch_prefix b view p d ~big ~params touched;
+        b.last_full <- false;
+        0
+    | _ ->
+        let sink = build_prefix b view ~big ~params mk in
+        b.last_full <- true;
+        b.full_rebuilds <- b.full_rebuilds + 1;
+        sink
+  in
+  (* The marks are folded in (or subsumed by a full rebuild); forget
+     them.  Safe within a round's resilience fallback chain because
+     ledgers only change after the round returns. *)
+  (match view.View.dirty with Some d -> Dirty.clear d | None -> ());
 
-  let tor_aggs = tor_aggregates view in
+  let tor_aggs = b.tor_aggs in
   let max_waiting =
     List.fold_left
       (fun acc (job, _) -> Float.max acc (now -. (job : Pending.job_state).poly.Poly_req.arrival))
@@ -353,7 +572,7 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
   in
 
   (* --- job, group, postpone, flavor nodes --- *)
-  let cheapest_shortcut : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cheapest_shortcut = Int_tbl.create 64 in
   let flavor_jobs = ref [] in
   List.iter
     (fun ((job : Pending.job_state), tgs) ->
@@ -379,14 +598,14 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
           in
           (match shortcuts with
           | [] -> ()
-          | best :: _ -> Hashtbl.replace cheapest_shortcut tg.Poly_req.tg_id best.cost);
+          | best :: _ -> Int_tbl.replace cheapest_shortcut tg.Poly_req.tg_id best.cost);
           List.iter
             (fun sc ->
               let dst =
                 match sc.target with
-                | `Tor s -> Hashtbl.find ns_tbl s
-                | `Server s -> Hashtbl.find ms_tbl s
-                | `Switch s -> Hashtbl.find mn_tbl s
+                | `Tor s -> b.ns_node.(s)
+                | `Server s -> b.ms_node.(s)
+                | `Switch s -> b.mn_node.(s)
               in
               ignore (Graph.add_arc g ~src:gnode ~dst ~cap:sc.cap ~cost:sc.cost))
             shortcuts;
@@ -433,7 +652,7 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
         List.fold_left
           (fun acc ((ts : Pending.tg_state), _) ->
             let c =
-              match Hashtbl.find_opt cheapest_shortcut ts.tg.Poly_req.tg_id with
+              match Int_tbl.find_opt cheapest_shortcut ts.tg.Poly_req.tg_id with
               | Some c -> c
               | None -> sentinel
             in
@@ -456,7 +675,7 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
           let fully_feasible =
             List.for_all
               (fun ((ts : Pending.tg_state), _) ->
-                Hashtbl.mem cheapest_shortcut ts.tg.Poly_req.tg_id)
+                Int_tbl.mem cheapest_shortcut ts.tg.Poly_req.tg_id)
               members
           in
           if fully_feasible then begin
@@ -492,7 +711,18 @@ let build (view : View.t) census ~jobs ~now ~(params : Cost_model.params) =
       !flavor_jobs
   end;
   Graph.set_supply g sink (-(total_supply + s_supply));
-  { graph = g; roles; sink }
+
+  (* --- bookkeeping --- *)
+  b.valid_n <- Graph.node_count g;
+  b.builds <- b.builds + 1;
+  let total_arcs = Graph.arc_count g in
+  b.last_total <- total_arcs;
+  b.last_touched <-
+    (if b.last_full then total_arcs
+     else
+       let p_arcs = match b.prefix with Some p -> p.p_arcs | None -> 0 in
+       !touched + (total_arcs - p_arcs));
+  { b; sink }
 
 (* ------------------------------------------------------------------ *)
 (* Extraction                                                         *)
@@ -508,11 +738,11 @@ type solver = Ssp | Cost_scaling
 
 let solver_name = function Ssp -> "ssp" | Cost_scaling -> "cost-scaling"
 
-let solve_only ?(solver = Ssp) ?budget t =
+let solve_only ?(solver = Ssp) ?budget ?scratch ?warm t =
   match solver with
-  | Ssp -> Mcmf.solve ?budget t.graph
+  | Ssp -> Mcmf.solve ?budget ?scratch ?warm t.b.g
   | Cost_scaling ->
-      let r = Flow.Cost_scaling.solve ?budget t.graph in
+      let r = Flow.Cost_scaling.solve ?budget t.b.g in
       {
         Mcmf.shipped = r.Flow.Cost_scaling.shipped;
         unshipped = r.Flow.Cost_scaling.unshipped;
@@ -525,7 +755,7 @@ let solve_only ?(solver = Ssp) ?budget t =
 
 let extract t ~solver =
   let extract_t0 = if Obs.enabled () then Prelude.Clock.now () else 0.0 in
-  let paths = Mcmf.decompose t.graph in
+  let paths = Mcmf.decompose t.b.g in
   let placements = ref [] and flavor_picks = ref [] in
   List.iter
     (fun (p : Mcmf.path) ->
@@ -533,7 +763,7 @@ let extract t ~solver =
          cost-scaling backend leaves its virtual feasibility node in the
          graph, and a budget-exhausted partial flow may route through
          it. *)
-      let roles_on_path = List.filter_map (Hashtbl.find_opt t.roles) p.nodes in
+      let roles_on_path = List.filter_map (role_opt t) p.nodes in
       let group = List.find_opt (function Group _ -> true | _ -> false) roles_on_path in
       let flavor = List.find_opt (function Flavor_sel _ -> true | _ -> false) roles_on_path in
       let machine =
@@ -564,6 +794,6 @@ let extract t ~solver =
       ];
   { placements = List.rev !placements; flavor_picks = List.rev !flavor_picks; solver }
 
-let solve_and_extract ?solver ?budget t =
-  let solver = solve_only ?solver ?budget t in
+let solve_and_extract ?solver ?budget ?scratch ?warm t =
+  let solver = solve_only ?solver ?budget ?scratch ?warm t in
   extract t ~solver

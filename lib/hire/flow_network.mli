@@ -40,16 +40,51 @@ val pp_role : Format.formatter -> node_role -> unit
 
 type t
 
+(** Persistent network builder.  A builder owns the graph arena, the
+    node/arc maps of the topology part, and the ToR aggregates, keeping
+    them alive across rounds so that a build only patches what changed
+    (per the {!View.t.dirty} set) instead of reallocating everything.
+
+    A builder is bound to one cluster (one topology instance and one
+    parameter set): reuse it only across rounds of the same scheduler.
+    Incremental and full builds are {e bit-identical} — the patch path
+    reproduces exactly the arrays a fresh build would create, so solver
+    results (placements, objective values) never depend on which path
+    ran. *)
+type builder
+
+val create_builder : unit -> builder
+
+(** Per-build patching statistics of the network a builder produced
+    last: [touched_arcs] counts patched prefix arcs plus rebuilt suffix
+    arcs ([= total_arcs] on a full rebuild). *)
+type build_stats = {
+  full : bool;
+  touched_arcs : int;
+  total_arcs : int;
+  builds : int;
+  full_rebuilds : int;
+}
+
+val stats : t -> build_stats
 val graph : t -> Flow.Graph.t
 val role : t -> int -> node_role
 
 (** (nodes, arcs) of the built network — drives the think-time model. *)
 val size : t -> int * int
 
-(** [build view census ~jobs ~now ~params] assembles the network for the
-    given pending jobs (FIFO-truncated to [params.max_queue_tgs]
-    requesting task groups, as in §6.2). *)
+(** [build ?builder view census ~jobs ~now ~params] assembles the
+    network for the given pending jobs (FIFO-truncated to
+    [params.max_queue_tgs] requesting task groups, as in §6.2).
+
+    Without [builder] (or on a builder's first use, or whenever the
+    view's dirty set is absent or structural) the whole network is
+    built from scratch.  With a warmed-up [builder] and a
+    non-structural dirty set, the long-lived topology part is patched
+    in place and only the per-round job part is rebuilt.  The view's
+    dirty set is cleared either way. *)
 val build :
+  ?builder:builder ->
   View.t ->
   Locality.Task_census.t ->
   jobs:Pending.job_state list ->
@@ -76,8 +111,18 @@ val solver_name : solver -> string
     partial flow, a degraded cost-scaling result leaves the zero flow.
     Splitting solve from extraction lets the resilience layer run the
     invariant guard (and the chaos harness) on the raw flow before any
-    decision is read off it. *)
-val solve_only : ?solver:solver -> ?budget:Flow.Budget.t -> t -> Flow.Mcmf.result
+    decision is read off it.
+
+    [scratch]/[warm] are forwarded to {!Flow.Mcmf.solve} when the SSP
+    backend runs (cost scaling ignores them): scratch reuse is exact;
+    warm starts trade tie-break stability for speed. *)
+val solve_only :
+  ?solver:solver ->
+  ?budget:Flow.Budget.t ->
+  ?scratch:Flow.Mcmf.scratch ->
+  ?warm:bool ->
+  t ->
+  Flow.Mcmf.result
 
 (** [extract t ~solver] reads scheduling decisions off the flow
     decomposition of [t]'s graph.  Nodes unknown to the network (e.g.
@@ -86,4 +131,10 @@ val extract : t -> solver:Flow.Mcmf.result -> outcome
 
 (** Solve the MCMF instance and read scheduling decisions back off the
     flow decomposition: [extract t ~solver:(solve_only ?solver ?budget t)]. *)
-val solve_and_extract : ?solver:solver -> ?budget:Flow.Budget.t -> t -> outcome
+val solve_and_extract :
+  ?solver:solver ->
+  ?budget:Flow.Budget.t ->
+  ?scratch:Flow.Mcmf.scratch ->
+  ?warm:bool ->
+  t ->
+  outcome

@@ -1,5 +1,6 @@
 module Vec = Prelude.Vec
 module Fat_tree = Topology.Fat_tree
+module Int_tbl = Prelude.Int_tbl
 
 let place (view : View.t) ~jobs ~(params : Cost_model.params) =
   let topo = view.View.topo in
@@ -7,10 +8,10 @@ let place (view : View.t) ~jobs ~(params : Cost_model.params) =
   let servers = Fat_tree.servers topo in
   (* One new task per machine per round, mirroring the flow network's
      capacity-1 M→K arcs, so in-round ledger reads stay accurate. *)
-  let used_this_round = Hashtbl.create 64 in
+  let used_this_round = Int_tbl.create 64 in
   let placements = ref [] in
   let place_on tg_id machine =
-    Hashtbl.replace used_this_round machine ();
+    Int_tbl.replace used_this_round machine ();
     placements := (tg_id, machine) :: !placements
   in
   let place_server_task (ts : Pending.tg_state) =
@@ -20,7 +21,7 @@ let place (view : View.t) ~jobs ~(params : Cost_model.params) =
       (fun s ->
         if
           !found = None
-          && (not (Hashtbl.mem used_this_round s))
+          && (not (Int_tbl.mem used_this_round s))
           && view.View.alive s
           && Vec.fits ~demand ~available:(view.View.server_available s)
         then found := Some s)
@@ -50,7 +51,7 @@ let place (view : View.t) ~jobs ~(params : Cost_model.params) =
         in
         if
           !found = None && shape_ok
-          && (not (Hashtbl.mem used_this_round s))
+          && (not (Int_tbl.mem used_this_round s))
           && (not (List.mem s ts.placed_on))
           && (not (List.mem s taken))
           && Sharing.can_place sharing ~switch:s ~service ~per_switch ~per_instance
@@ -66,7 +67,7 @@ let place (view : View.t) ~jobs ~(params : Cost_model.params) =
   let jobs =
     List.filter Pending.has_pending_work jobs
     |> List.sort (fun (a : Pending.job_state) b ->
-           compare a.poly.Poly_req.arrival b.poly.Poly_req.arrival)
+           Float.compare a.poly.Poly_req.arrival b.poly.Poly_req.arrival)
   in
   let budget = ref params.max_queue_tgs in
   List.iter

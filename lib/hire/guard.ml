@@ -1,4 +1,5 @@
 module Vec = Prelude.Vec
+module Int_tbl = Prelude.Int_tbl
 
 type violation =
   | Flow_violation of Flow.Verify.violation
@@ -31,17 +32,17 @@ let check_placements (view : View.t) ~(params : Cost_model.params) ~placements =
   let sharing = view.View.sharing in
   (* Each machine may take at most one new task per round, so one
      placement can be checked against the live ledgers in isolation. *)
-  let machines = Hashtbl.create 16 in
-  let per_group = Hashtbl.create 16 in
+  let machines = Int_tbl.create 16 in
+  let per_group = Int_tbl.create 16 in
   try
     List.iter
       (fun ((ts : Pending.tg_state), machine) ->
-        if Hashtbl.mem machines machine then raise (Bad (Machine_overuse { machine }));
-        Hashtbl.replace machines machine ();
+        if Int_tbl.mem machines machine then raise (Bad (Machine_overuse { machine }));
+        Int_tbl.replace machines machine ();
         let tg = ts.Pending.tg in
         let tg_id = tg.Poly_req.tg_id in
-        let placed = 1 + (Hashtbl.find_opt per_group tg_id |> Option.value ~default:0) in
-        Hashtbl.replace per_group tg_id placed;
+        let placed = 1 + (Int_tbl.find_opt per_group tg_id |> Option.value ~default:0) in
+        Int_tbl.replace per_group tg_id placed;
         if placed > ts.Pending.remaining then
           raise
             (Bad (Group_overplace { tg_id; placed; remaining = ts.Pending.remaining }));

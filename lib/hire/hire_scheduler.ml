@@ -1,4 +1,5 @@
 module Clock = Prelude.Clock
+module Int_tbl = Prelude.Int_tbl
 
 type resilience = {
   budget : Flow.Budget.t option;
@@ -12,6 +13,8 @@ type config = {
   simple_flavor : bool;
   solver : Flow_network.solver;
   resilience : resilience option;
+  incremental : bool;
+  warm_start : bool;
 }
 
 let default_config =
@@ -20,42 +23,48 @@ let default_config =
     simple_flavor = false;
     solver = Flow_network.Ssp;
     resilience = None;
+    incremental = true;
+    warm_start = false;
   }
 
 type t = {
   view : View.t;
   config : config;
-  jobs : (int, Pending.job_state) Hashtbl.t;
+  jobs : Pending.job_state Int_tbl.t;
   census : Locality.Task_census.t;
   mutable order : int list;  (* job ids, newest first; kept for determinism *)
   mutable solves : int;  (* lifetime solve attempts, drives guard sampling *)
+  builder : Flow_network.builder option;  (* persistent network arena *)
+  scratch : Flow.Mcmf.scratch option;  (* persistent SSP workspace *)
 }
 
 let create ?(config = default_config) view =
   {
     view;
     config;
-    jobs = Hashtbl.create 64;
+    jobs = Int_tbl.create 64;
     census = Locality.Task_census.create view.View.topo;
     order = [];
     solves = 0;
+    builder = (if config.incremental then Some (Flow_network.create_builder ()) else None);
+    scratch = (if config.incremental then Some (Flow.Mcmf.scratch ()) else None);
   }
 
 let name t = if t.config.simple_flavor then "hire-simple" else "hire"
 
 let submit t ~time:_ poly =
   let job = Pending.of_poly poly in
-  Hashtbl.replace t.jobs poly.Poly_req.job_id job;
+  Int_tbl.replace t.jobs poly.Poly_req.job_id job;
   t.order <- poly.Poly_req.job_id :: t.order
 
 let job_list t =
   (* Oldest first. *)
-  List.rev t.order |> List.filter_map (Hashtbl.find_opt t.jobs)
+  List.rev t.order |> List.filter_map (Int_tbl.find_opt t.jobs)
 
 let pending_work t =
-  Hashtbl.fold (fun _ job acc -> acc || Pending.has_pending_work job) t.jobs false
+  Int_tbl.fold (fun _ job acc -> acc || Pending.has_pending_work job) t.jobs false
 
-let pending_jobs t = Hashtbl.length t.jobs
+let pending_jobs t = Int_tbl.length t.jobs
 
 type round_resilience = {
   degraded : bool;
@@ -103,13 +112,13 @@ let propagate_simple job picked_is_inc =
 
 let cleanup t =
   let finished =
-    Hashtbl.fold
+    Int_tbl.fold
       (fun id job acc -> if Pending.has_pending_work job then acc else id :: acc)
       t.jobs []
   in
-  List.iter (Hashtbl.remove t.jobs) finished;
+  List.iter (Int_tbl.remove t.jobs) finished;
   if finished <> [] then
-    t.order <- List.filter (fun id -> Hashtbl.mem t.jobs id) t.order
+    t.order <- List.filter (fun id -> Int_tbl.mem t.jobs id) t.order
 
 (* True while every undecided network group of the job could in
    principle be hosted: for each group there are enough supporting
@@ -152,7 +161,7 @@ let inc_still_feasible t (job : Pending.job_state) =
 let apply_flavor_picks t ~flavor_picks ~cancelled ~decisions =
   List.iter
     (fun (job_id, tg_id) ->
-      match Hashtbl.find_opt t.jobs job_id with
+      match Int_tbl.find_opt t.jobs job_id with
       | None -> ()
       | Some job -> (
           match Pending.find_tg job tg_id with
@@ -181,7 +190,7 @@ let apply_placements t raw =
   List.filter_map
     (fun (tg_id, machine) ->
       let found =
-        Hashtbl.fold
+        Int_tbl.fold
           (fun _ job acc ->
             match acc with
             | Some _ -> acc
@@ -209,7 +218,7 @@ let resolve_for_guard t raw =
   List.filter_map
     (fun (tg_id, machine) ->
       let found =
-        Hashtbl.fold
+        Int_tbl.fold
           (fun _ job acc ->
             match acc with
             | Some _ -> acc
@@ -226,16 +235,41 @@ let other_backend = function
   | Flow_network.Ssp -> Flow_network.Cost_scaling
   | Flow_network.Cost_scaling -> Flow_network.Ssp
 
-(* One rung of the fallback chain: build a fresh network (a previous
-   cost-scaling attempt leaves its virtual feasibility node behind, so
-   networks are never reused across attempts), solve under the budget,
-   optionally corrupt (chaos) and guard the live solution.  [`Accept]
-   carries the extracted outcome; [`Reject] advances the chain. *)
+(* Build the round's network through the persistent builder (when
+   incremental mode is on) and publish the patch statistics. *)
+let build_network t ~jobs ~time ~params =
+  let net = Flow_network.build ?builder:t.builder t.view t.census ~jobs ~now:time ~params in
+  if Obs.enabled () then begin
+    let st = Flow_network.stats net in
+    Obs.Registry.incr
+      (Obs.Registry.counter
+         (if st.Flow_network.full then "hire.net.full_rebuilds" else "hire.net.patched_builds"));
+    Obs.Histogram.observe
+      (Obs.Registry.histogram "hire.net.touched_arcs")
+      (float_of_int st.Flow_network.touched_arcs);
+    Obs.Histogram.observe
+      (Obs.Registry.histogram "hire.net.total_arcs")
+      (float_of_int st.Flow_network.total_arcs)
+  end;
+  net
+
+(* Scratch (exact) is reused whenever present; warm potentials are
+   opt-in and only meaningful for the SSP backend. *)
+let solve_opts t = (t.scratch, if t.config.warm_start then Some true else None)
+
+(* One rung of the fallback chain: rebuild the round's network (a
+   previous cost-scaling attempt leaves its virtual feasibility node
+   behind, so a solved network is never reused across attempts — the
+   persistent builder rewinds it instead of reallocating), solve under
+   the budget, optionally corrupt (chaos) and guard the live solution.
+   [`Accept] carries the extracted outcome; [`Reject] advances the
+   chain. *)
 let attempt_backend t ~jobs ~time ~params (r : resilience) ~backend ~trips =
-  let net = Flow_network.build t.view t.census ~jobs ~now:time ~params in
+  let net = build_network t ~jobs ~time ~params in
   let size = Flow_network.size net in
   t.solves <- t.solves + 1;
-  let solver = Flow_network.solve_only ~solver:backend ?budget:r.budget net in
+  let scratch, warm = solve_opts t in
+  let solver = Flow_network.solve_only ~solver:backend ?budget:r.budget ?scratch ?warm net in
   if solver.Flow.Mcmf.degraded && solver.Flow.Mcmf.shipped = 0 then begin
     (* Nothing salvageable (cost-scaling aborts to the zero flow; SSP
        ran out before the first augmentation): fall through. *)
@@ -371,7 +405,7 @@ let run_round t ~time =
     match t.config.resilience with
     | None ->
         (* Legacy path: one unbounded solve, no guard. *)
-        let net = Flow_network.build t.view t.census ~jobs ~now:time ~params in
+        let net = build_network t ~jobs ~time ~params in
         let nodes, arcs = Flow_network.size net in
         if Obs.enabled () then begin
           let build_s = Clock.now () -. round_t0 in
@@ -383,7 +417,8 @@ let run_round t ~time =
             ];
           Obs.Histogram.observe (Obs.Registry.histogram "hire.build_s") build_s
         end;
-        let outcome = Flow_network.solve_and_extract ~solver:t.config.solver net in
+        let scratch, warm = solve_opts t in
+        let outcome = Flow_network.solve_and_extract ~solver:t.config.solver ?scratch ?warm net in
         let decisions = ref [] in
         apply_flavor_picks t ~flavor_picks:outcome.Flow_network.flavor_picks ~cancelled
           ~decisions;
@@ -486,7 +521,7 @@ let on_task_complete t ~tg_id ~machine =
 let drop_task_group t ~tg_id =
   (* Requeue clones share the original's tg_id under a different job id,
      so every tracked job is scanned. *)
-  Hashtbl.iter
+  Int_tbl.iter
     (fun _ job ->
       match Pending.find_tg job tg_id with
       | Some ts -> ts.Pending.remaining <- 0

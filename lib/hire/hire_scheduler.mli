@@ -31,6 +31,17 @@ type config = {
   resilience : resilience option;
       (** [None] (the default) preserves the exact legacy behaviour:
           one unbounded solve per round, no guard *)
+  incremental : bool;
+      (** [true] (the default) keeps a persistent {!Flow_network.builder}
+          and SSP scratch workspace across rounds: the topology part of
+          the network is patched from the cluster's dirty set instead of
+          rebuilt, and solver buffers are reused.  Placements and
+          objective values are bit-identical either way; [false] is the
+          escape hatch that rebuilds everything from scratch each round. *)
+  warm_start : bool;
+      (** carry SSP node potentials across rounds when still valid.
+          Off by default: warm starts preserve objective values but may
+          change tie-breaks between equally-cheap placements. *)
 }
 
 val default_config : config

@@ -1,4 +1,5 @@
 module Fat_tree = Topology.Fat_tree
+module Int_tbl = Prelude.Int_tbl
 
 module Task_census = struct
   (* Per task group we keep counts by machine plus rollups by ToR and by
@@ -6,34 +7,34 @@ module Task_census = struct
      hierarchy.  A machine is tagged (tor, pod) as follows: servers and
      ToRs by their own ToR; aggs by their pod only; cores by neither. *)
   type group_counts = {
-    by_machine : (int, int) Hashtbl.t;
-    by_tor : (int, int) Hashtbl.t;
-    by_pod : (int, int) Hashtbl.t;
+    by_machine : int Int_tbl.t;
+    by_tor : int Int_tbl.t;
+    by_pod : int Int_tbl.t;
     mutable total : int;
   }
 
-  type t = { topo : Fat_tree.t; groups : (int, group_counts) Hashtbl.t }
+  type t = { topo : Fat_tree.t; groups : group_counts Int_tbl.t }
 
-  let create topo = { topo; groups = Hashtbl.create 64 }
+  let create topo = { topo; groups = Int_tbl.create 64 }
 
   let group t tg_id =
-    match Hashtbl.find_opt t.groups tg_id with
+    match Int_tbl.find_opt t.groups tg_id with
     | Some g -> g
     | None ->
         let g =
           {
-            by_machine = Hashtbl.create 8;
-            by_tor = Hashtbl.create 8;
-            by_pod = Hashtbl.create 8;
+            by_machine = Int_tbl.create 8;
+            by_tor = Int_tbl.create 8;
+            by_pod = Int_tbl.create 8;
             total = 0;
           }
         in
-        Hashtbl.replace t.groups tg_id g;
+        Int_tbl.replace t.groups tg_id g;
         g
 
   let bump tbl key delta =
-    let v = (match Hashtbl.find_opt tbl key with Some v -> v | None -> 0) + delta in
-    if v <= 0 then Hashtbl.remove tbl key else Hashtbl.replace tbl key v
+    let v = (match Int_tbl.find_opt tbl key with Some v -> v | None -> 0) + delta in
+    if v <= 0 then Int_tbl.remove tbl key else Int_tbl.replace tbl key v
 
   let tags t machine =
     let open Fat_tree in
@@ -56,10 +57,10 @@ module Task_census = struct
   let remove t ~tg_id ~machine = adjust t ~tg_id ~machine (-1)
 
   let count_under t ~tg_id ~node =
-    match Hashtbl.find_opt t.groups tg_id with
+    match Int_tbl.find_opt t.groups tg_id with
     | None -> 0
     | Some g -> (
-        let get tbl key = match Hashtbl.find_opt tbl key with Some v -> v | None -> 0 in
+        let get tbl key = match Int_tbl.find_opt tbl key with Some v -> v | None -> 0 in
         match Fat_tree.kind t.topo node with
         | Fat_tree.Core -> g.total
         | Fat_tree.Agg -> get g.by_pod (Fat_tree.node t.topo node).pod
@@ -67,19 +68,22 @@ module Task_census = struct
         | Fat_tree.Server -> get g.by_machine node)
 
   let total t ~tg_id =
-    match Hashtbl.find_opt t.groups tg_id with None -> 0 | Some g -> g.total
+    match Int_tbl.find_opt t.groups tg_id with None -> 0 | Some g -> g.total
 
   let machines t ~tg_id =
-    match Hashtbl.find_opt t.groups tg_id with
+    match Int_tbl.find_opt t.groups tg_id with
     | None -> []
-    | Some g -> Hashtbl.fold (fun m c acc -> (m, c) :: acc) g.by_machine [] |> List.sort compare
+    | Some g ->
+        Int_tbl.fold (fun m c acc -> (m, c) :: acc) g.by_machine []
+        |> List.sort (fun (m1, c1) (m2, c2) ->
+               match Int.compare m1 m2 with 0 -> Int.compare c1 c2 | c -> c)
 
   let switches t ~tg_id =
     List.filter_map
       (fun (m, _) -> if Fat_tree.is_switch t.topo m then Some m else None)
       (machines t ~tg_id)
 
-  let clear_group t ~tg_id = Hashtbl.remove t.groups tg_id
+  let clear_group t ~tg_id = Int_tbl.remove t.groups tg_id
 end
 
 let upsilon topo census ~tg_ids ~node ~group_size =
@@ -117,41 +121,41 @@ let upsilon topo census ~tg_ids ~node ~group_size =
   end
 
 module Gain = struct
-  type t = { table : (int, int) Hashtbl.t; max_gain : int }
+  type t = { table : int Int_tbl.t; max_gain : int }
 
   let inc_loc_prop topo table ~start ~gamma ~xi =
-    let visited = Hashtbl.create 32 in
+    let visited = Int_tbl.create 32 in
     let visit = ref [ start ] in
     let g = ref gamma in
     while !g > 0 && !visit <> [] do
       let next = ref [] in
       List.iter
         (fun n ->
-          if not (Hashtbl.mem visited n) then begin
-            Hashtbl.replace visited n ();
-            let cur = match Hashtbl.find_opt table n with Some v -> v | None -> 0 in
-            Hashtbl.replace table n (cur + !g);
+          if not (Int_tbl.mem visited n) then begin
+            Int_tbl.replace visited n ();
+            let cur = match Int_tbl.find_opt table n with Some v -> v | None -> 0 in
+            Int_tbl.replace table n (cur + !g);
             List.iter
               (fun nb -> if Topology.Fat_tree.is_switch topo nb then next := nb :: !next)
               (Topology.Fat_tree.neighbors topo n)
           end)
         !visit;
-      visit := List.filter (fun n -> not (Hashtbl.mem visited n)) !next;
+      visit := List.filter (fun n -> not (Int_tbl.mem visited n)) !next;
       g := !g / xi
     done
 
   let compute topo census ~related ~gamma ~xi =
     if xi <= 1 then invalid_arg "Gain.compute: xi must be > 1";
-    let table = Hashtbl.create 64 in
+    let table = Int_tbl.create 64 in
     let sources =
       List.concat_map (fun tg_id -> Task_census.switches census ~tg_id) related
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
     in
     List.iter (fun s -> inc_loc_prop topo table ~start:s ~gamma ~xi) sources;
-    let max_gain = Hashtbl.fold (fun _ v acc -> max v acc) table 0 in
+    let max_gain = Int_tbl.fold (fun _ v acc -> max v acc) table 0 in
     { table; max_gain }
 
-  let at t node = match Hashtbl.find_opt t.table node with Some v -> v | None -> 0
+  let at t node = match Int_tbl.find_opt t.table node with Some v -> v | None -> 0
 
   let normalized t node =
     if t.max_gain <= 0 then 0.0 else float_of_int (at t node) /. float_of_int t.max_gain

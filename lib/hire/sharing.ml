@@ -1,5 +1,6 @@
 module Vec = Prelude.Vec
 module Fat_tree = Topology.Fat_tree
+module Int_tbl = Prelude.Int_tbl
 
 type sw_state = {
   avail : Vec.t;  (* mutated in place *)
@@ -9,16 +10,16 @@ type sw_state = {
   mutable alive : bool;  (* fault injection: dead switches host nothing *)
 }
 
-type t = { cap : Vec.t; states : (int, sw_state) Hashtbl.t; ids : int array }
+type t = { cap : Vec.t; states : sw_state Int_tbl.t; ids : int array }
 
 let create ~topo ~capacity ~supported =
   let ids = Fat_tree.switches topo in
-  let states = Hashtbl.create (Array.length ids) in
+  let states = Int_tbl.create (Array.length ids) in
   Array.iter
     (fun id ->
       let sup = Hashtbl.create 8 in
       List.iter (fun s -> Hashtbl.replace sup s ()) (supported id);
-      Hashtbl.replace states id
+      Int_tbl.replace states id
         {
           avail = Vec.copy capacity;
           supported = sup;
@@ -30,7 +31,7 @@ let create ~topo ~capacity ~supported =
   { cap = Vec.copy capacity; states; ids }
 
 let state t switch =
-  match Hashtbl.find_opt t.states switch with
+  match Int_tbl.find_opt t.states switch with
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Sharing: %d is not a switch" switch)
 
@@ -49,11 +50,12 @@ let supports t ~switch ~service =
   st.alive && Hashtbl.mem st.supported service
 
 let supported_services t switch =
-  Hashtbl.fold (fun k () acc -> k :: acc) (state t switch).supported [] |> List.sort compare
+  Hashtbl.fold (fun k () acc -> k :: acc) (state t switch).supported []
+  |> List.sort String.compare
 
 let active_services t switch =
   Hashtbl.fold (fun k c acc -> if c > 0 then k :: acc else acc) (state t switch).counts []
-  |> List.sort compare
+  |> List.sort String.compare
 
 let n_active t switch = List.length (active_services t switch)
 

@@ -135,7 +135,7 @@ let transform store ids rng ~job_id ~arrival (req : Comp_req.t) =
     let same_comp = Hashtbl.find_all groups_by_comp comp_id in
     let neighbor_comps = Hashtbl.find_all comp_neighbors comp_id in
     let other = List.concat_map (Hashtbl.find_all groups_by_comp) neighbor_comps in
-    List.filter (fun id -> id <> self_id) (List.sort_uniq compare (same_comp @ other))
+    List.filter (fun id -> id <> self_id) (List.sort_uniq Int.compare (same_comp @ other))
   in
   let task_groups =
     List.map

@@ -4,6 +4,7 @@ type t = {
   server_available : int -> Prelude.Vec.t;
   sharing : Sharing.t;
   alive : int -> bool;
+  dirty : Dirty.t option;
 }
 
 let server_utilization t id =

@@ -6,6 +6,8 @@ type t = {
   phases : int;
   pushes : int;
   relabels : int;
+  scratch_reused : bool;
+  warm_start : bool;
   stages : (string * float) list;
   wall_s : float;
 }
@@ -19,6 +21,8 @@ let zero ~solver =
     phases = 0;
     pushes = 0;
     relabels = 0;
+    scratch_reused = false;
+    warm_start = false;
     stages = [];
     wall_s = 0.0;
   }
@@ -33,6 +37,8 @@ let emit t =
        ("phases", Trace.Int t.phases);
        ("pushes", Trace.Int t.pushes);
        ("relabels", Trace.Int t.relabels);
+       ("scratch_reused", Trace.Bool t.scratch_reused);
+       ("warm_start", Trace.Bool t.warm_start);
        ("wall_s", Trace.Float t.wall_s);
      ]
     @ List.map (fun (name, s) -> ("stage." ^ name, Trace.Float s)) t.stages);

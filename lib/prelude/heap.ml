@@ -55,3 +55,77 @@ let pop t =
 let peek t = if t.size = 0 then raise Not_found else t.data.(0)
 let clear t = t.size <- 0
 let to_list t = Array.to_list (Array.sub t.data 0 t.size)
+
+(* Monomorphic (int key, int value) min-heap on parallel arrays: no
+   tuple boxing, no polymorphic-compare dispatch.  The sift logic is a
+   line-for-line mirror of the generic heap above (strict [<] on keys,
+   ties keep heap order), so replacing the generic heap with this one
+   preserves pop order — and therefore any tie-breaking downstream —
+   exactly. *)
+module Int_pair = struct
+  type t = { mutable key : int array; mutable value : int array; mutable size : int }
+
+  let create () = { key = [||]; value = [||]; size = 0 }
+  let is_empty t = t.size = 0
+  let size t = t.size
+  let clear t = t.size <- 0
+
+  let grow t =
+    let cap = Array.length t.key in
+    if t.size = cap then begin
+      let ncap = max 8 (2 * cap) in
+      let nkey = Array.make ncap 0 and nvalue = Array.make ncap 0 in
+      Array.blit t.key 0 nkey 0 t.size;
+      Array.blit t.value 0 nvalue 0 t.size;
+      t.key <- nkey;
+      t.value <- nvalue
+    end
+
+  let swap t i j =
+    let k = t.key.(i) and v = t.value.(i) in
+    t.key.(i) <- t.key.(j);
+    t.value.(i) <- t.value.(j);
+    t.key.(j) <- k;
+    t.value.(j) <- v
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if t.key.(i) < t.key.(parent) then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && t.key.(l) < t.key.(!smallest) then smallest := l;
+    if r < t.size && t.key.(r) < t.key.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let push t k v =
+    grow t;
+    t.key.(t.size) <- k;
+    t.value.(t.size) <- v;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let min_key t =
+    if t.size = 0 then raise Not_found;
+    t.key.(0)
+
+  let pop t =
+    if t.size = 0 then raise Not_found;
+    let top = t.value.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.key.(0) <- t.key.(t.size);
+      t.value.(0) <- t.value.(t.size);
+      sift_down t 0
+    end;
+    top
+end

@@ -24,3 +24,31 @@ val clear : 'a t -> unit
 
 (** [to_list t] returns the elements in unspecified order. *)
 val to_list : 'a t -> 'a list
+
+(** Monomorphic (int key, int value) min-heap on parallel int arrays.
+
+    Allocation-free in steady state: [push]/[pop] reuse the backing
+    arrays, and [clear] resets without freeing, so a heap held across
+    Dijkstra runs never reallocates once warmed up.  The sift logic
+    mirrors the generic heap exactly (strict [<] on keys), so pop order
+    — including tie order among equal keys — is identical to a generic
+    heap ordered by the key alone. *)
+module Int_pair : sig
+  type t
+
+  val create : unit -> t
+  val is_empty : t -> bool
+  val size : t -> int
+
+  (** Reset to empty, keeping the backing arrays for reuse. *)
+  val clear : t -> unit
+
+  val push : t -> int -> int -> unit
+
+  (** Key of the minimum entry.  @raise Not_found when empty. *)
+  val min_key : t -> int
+
+  (** Remove the minimum entry and return its {e value} (read the key
+      with {!min_key} first if needed).  @raise Not_found when empty. *)
+  val pop : t -> int
+end

@@ -1,0 +1,15 @@
+(* Int-keyed hash table with a monomorphic hash.  The generic [Hashtbl]
+   funnels every lookup through the polymorphic [Hashtbl.hash]; for the
+   dense-int keys used throughout the solver hot paths (arc ids, node
+   ids, task-group ids) a direct identity hash avoids that dispatch and
+   the boxing it drags in. *)
+
+include Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+
+  (* [land max_int] clears the sign bit: Hashtbl requires non-negative
+     hashes. *)
+  let hash (x : int) = x land max_int
+end)

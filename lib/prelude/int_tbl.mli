@@ -1,0 +1,6 @@
+(** Int-keyed hash table ([Hashtbl.Make] over [int]) with a monomorphic
+    identity hash — no polymorphic [Hashtbl.hash] dispatch on lookups.
+    Use for hot-path tables keyed by dense integer ids (graph arcs,
+    nodes, task groups); see [make lint-compare]. *)
+
+include Hashtbl.S with type key = int

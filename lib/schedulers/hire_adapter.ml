@@ -4,8 +4,11 @@ module Hire_scheduler = Hire.Hire_scheduler
 let think_of ~nodes ~arcs = 0.0005 +. (3e-7 *. float_of_int (nodes + arcs))
 
 let create ?(simple_flavor = false) ?(params = Hire.Cost_model.default_params)
-    ?(solver = Hire.Flow_network.Ssp) ?(shared = true) ?resilience ?name cluster =
-  let config = { Hire_scheduler.params; simple_flavor; solver; resilience } in
+    ?(solver = Hire.Flow_network.Ssp) ?(shared = true) ?resilience
+    ?(incremental = true) ?(warm_start = false) ?name cluster =
+  let config =
+    { Hire_scheduler.params; simple_flavor; solver; resilience; incremental; warm_start }
+  in
   let sched = Hire_scheduler.create ~config (Sim.Cluster.view cluster) in
   let round ~time =
     let o = Hire_scheduler.run_round sched ~time in

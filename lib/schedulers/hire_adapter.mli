@@ -10,6 +10,8 @@ val create :
   ?solver:Hire.Flow_network.solver ->
   ?shared:bool ->
   ?resilience:Hire.Hire_scheduler.resilience ->
+  ?incremental:bool ->
+  ?warm_start:bool ->
   ?name:string ->
   Sim.Cluster.t ->
   Sim.Scheduler_intf.t

@@ -10,10 +10,14 @@ val names : string list
 
 (** [create name ~seed cluster] builds the scheduler.  [resilience]
     installs a solver-resilience policy (docs/RESILIENCE.md) on the
-    flow-based HIRE variants; the baselines ignore it.
+    flow-based HIRE variants; the baselines ignore it.  [incremental]
+    (default [true]) enables the persistent flow-network builder and
+    solver-scratch reuse on the HIRE variants — results are identical
+    either way (docs/PERFORMANCE.md); [false] is the escape hatch.
     @raise Invalid_argument on unknown names. *)
 val create :
   ?resilience:Hire.Hire_scheduler.resilience ->
+  ?incremental:bool ->
   string ->
   seed:int ->
   Sim.Cluster.t ->

@@ -16,6 +16,7 @@ type t = {
   server_avail : (int, Vec.t) Hashtbl.t;
   sharing : Sharing.t;
   dead : (int, float) Hashtbl.t;  (* node -> failure time *)
+  dirty : Hire.Dirty.t;  (* ledger changes since the last network build *)
 }
 
 let create ?server_capacity ?switch_capacity ?inc_capable_fraction ?topology ~k ~setup ~services rng =
@@ -59,7 +60,15 @@ let create ?server_capacity ?switch_capacity ?inc_capable_fraction ?topology ~k 
     end
   in
   let sharing = Sharing.create ~topo ~capacity:switch_cap ~supported in
-  { topo; server_cap; switch_cap; server_avail; sharing; dead = Hashtbl.create 16 }
+  {
+    topo;
+    server_cap;
+    switch_cap;
+    server_avail;
+    sharing;
+    dead = Hashtbl.create 16;
+    dirty = Hire.Dirty.create ~node_count:(Fat_tree.node_count topo);
+  }
 
 let topo t = t.topo
 let sharing t = t.sharing
@@ -78,6 +87,7 @@ let fail_node t ~time node =
      running tasks first, so capacity conservation holds through the
      outage (a recovered node comes back with exactly its capacity). *)
   if not (Fat_tree.is_server t.topo node) then Sharing.set_alive t.sharing node false;
+  Hire.Dirty.mark_structural t.dirty;
   Hashtbl.replace t.dead node time
 
 let recover_node t node =
@@ -86,6 +96,7 @@ let recover_node t node =
   | Some failed_at ->
       Hashtbl.remove t.dead node;
       if not (Fat_tree.is_server t.topo node) then Sharing.set_alive t.sharing node true;
+      Hire.Dirty.mark_structural t.dirty;
       failed_at
 
 let n_inc_capable t =
@@ -110,6 +121,7 @@ let view t =
     server_available = (fun s -> server_available t s);
     sharing = t.sharing;
     alive = (fun node -> is_alive t node);
+    dirty = Some t.dirty;
   }
 
 let place_server_task t ~server ~demand =
@@ -121,7 +133,8 @@ let place_server_task t ~server ~demand =
       if not (Vec.fits ~demand ~available:avail) then
         invalid_arg
           (Printf.sprintf "Cluster.place_server_task: demand does not fit on server %d" server);
-      Vec.sub_into avail demand
+      Vec.sub_into avail demand;
+      Hire.Dirty.mark_server t.dirty server
 
 let release_server_task t ~server ~demand =
   match Hashtbl.find_opt t.server_avail server with
@@ -145,7 +158,8 @@ let release_server_task t ~server ~demand =
                  server i)
           end
           else if x > cap then avail.(i) <- cap)
-        avail
+        avail;
+      Hire.Dirty.mark_server t.dirty server
 
 let network_parts tg ~shared =
   match tg.Poly_req.kind with
@@ -165,11 +179,13 @@ let place_network_task t ~switch ~tg ~shared =
     Sharing.effective_demand t.sharing ~switch ~service ~per_switch ~per_instance
   in
   Sharing.place t.sharing ~switch ~service ~per_switch ~per_instance;
+  Hire.Dirty.mark_switch t.dirty switch;
   charged
 
 let release_network_task t ~switch ~tg ~shared =
   let service, _per_switch, per_instance = network_parts tg ~shared in
-  Sharing.release t.sharing ~switch ~service ~per_instance
+  Sharing.release t.sharing ~switch ~service ~per_instance;
+  Hire.Dirty.mark_switch t.dirty switch
 
 let server_utilization_avg t =
   let acc = Vec.zero (Vec.dim t.server_cap) in
