@@ -1,4 +1,4 @@
-.PHONY: all build test check lint-compare bench-solver doc clean
+.PHONY: all build test check lint-compare bench-solver bench-portfolio doc clean
 
 all: build
 
@@ -27,15 +27,24 @@ bench-solver:
 	@grep -q '"identical": true' BENCH_5.json
 	@echo "bench-solver: OK (BENCH_5.json)"
 
+# Solver-portfolio race benchmark; writes BENCH_6.json (see
+# docs/PARALLELISM.md for how to read it).  Exits non-zero if the raced
+# winner ever diverges from a serial solve of the same backend.
+bench-portfolio:
+	dune exec bench/bench_portfolio.exe -- --out BENCH_6.json
+	@grep -q '"identical": true' BENCH_6.json
+	@echo "bench-portfolio: OK (BENCH_6.json)"
+
 # Tier-1 gate plus smoke-checks that the observability and fault flags
 # are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md), that a
 # small deterministic fault-injected run completes, that bad flags fail
 # fast with a one-line error, that the parallel sweep runner
 # (docs/RUNNER.md) executes and resumes a tiny sweep, and that a run
 # with an exhausted solver budget degrades along the fallback chain
-# instead of wedging (docs/RESILIENCE.md), and that a short solver
-# benchmark still certifies the incremental network path bit-identical
-# (docs/PERFORMANCE.md).
+# instead of wedging (docs/RESILIENCE.md), that a budgeted portfolio
+# run races and records per-backend wins (docs/PARALLELISM.md), and
+# that a short solver benchmark still certifies the incremental network
+# path bit-identical (docs/PERFORMANCE.md).
 check: lint-compare
 	dune build
 	dune runtest
@@ -64,6 +73,9 @@ check: lint-compare
 	dune exec bin/hire_sim.exe -- -s hire -k 4 --horizon 40 --util 2.0 --seeds 1 \
 		--solver-budget 0 --guard 1 \
 		| grep -E 'degraded-rounds=[1-9]' > /dev/null
+	dune exec bin/hire_sim.exe -- -s hire -k 4 --horizon 40 --util 2.0 --seeds 1 \
+		--portfolio --solver-steps 4000 --obs-summary \
+		| grep -E 'flow\.portfolio\.win\.[a-z-]+ +[1-9]' > /dev/null
 	dune exec bench/bench_solver.exe -- --rounds 40 -k 4 --no-e2e \
 		--out /tmp/hire_bench_smoke.json
 	@grep -q '"identical": true' /tmp/hire_bench_smoke.json || \

@@ -4,7 +4,8 @@
    built from; see bench/main.ml for the full sweep. *)
 
 let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max_retries
-    solver_budget solver_steps guard no_incremental verbose csv trace obs_summary =
+    solver_budget solver_steps guard no_incremental portfolio jobs verbose csv trace
+    obs_summary =
   if trace <> None || obs_summary then Obs.set_enabled true;
   (match trace with
   | Some path -> (
@@ -48,6 +49,13 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
       in
       Some (Hire.Hire_scheduler.resilience ?budget ~guard_every:guard ())
   in
+  (* The portfolio race reuses the resilience chain's accept/reject
+     machinery, so --portfolio alone installs the default (unbounded,
+     guard-free) policy. *)
+  let resilience =
+    if portfolio && resilience = None then Some (Hire.Hire_scheduler.resilience ())
+    else resilience
+  in
   let spec =
     {
       Harness.Experiment.scheduler;
@@ -61,6 +69,7 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
       faults;
       resilience;
       incremental = not no_incremental;
+      portfolio;
     }
   in
   Printf.printf "scheduler=%s mu=%.2f k=%d horizon=%.0fs setup=%s util=%.2f seeds=[%s]\n%!"
@@ -78,7 +87,30 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
         | None -> "none"
         | Some b -> Format.asprintf "%a" Flow.Budget.pp b)
         r.Hire.Hire_scheduler.guard_every);
-  let reports = Harness.Experiment.run_seeds spec seeds in
+  if portfolio then
+    Printf.printf "portfolio: racing ssp + cost-scaling on OCaml 5 domains per round\n%!";
+  let reports =
+    let instrumented = trace <> None || obs_summary in
+    if jobs <= 1 || List.length seeds <= 1 then Harness.Experiment.run_seeds spec seeds
+    else if instrumented then begin
+      (* Instrumentation (obs registry, trace ring) is process-global;
+         seed-level domain parallelism would interleave it. *)
+      Printf.eprintf
+        "hire_sim: --jobs ignored with --trace/--obs-summary (instrumentation is \
+         process-global)\n\
+         %!";
+      Harness.Experiment.run_seeds spec seeds
+    end
+    else
+      Runner.Pool.map ~jobs ~retries:0 ~mode:Runner.Pool.Domains
+        ~label:(fun seed -> Printf.sprintf "seed %d" seed)
+        ~f:(fun seed -> Harness.Experiment.run { spec with seed })
+        seeds
+      |> List.map (fun (c : _ Runner.Pool.cell) ->
+             match c.result with
+             | Ok r -> r
+             | Error reason -> failwith (Runner.Pool.reason_to_string reason))
+  in
   List.iteri
     (fun i r ->
       Printf.printf "seed %d: %s\n" (List.nth seeds i)
@@ -235,6 +267,25 @@ let no_incremental =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let portfolio =
+  let doc =
+    "Race both MCMF backends (SSP and cost scaling) on OCaml 5 domains inside every \
+     scheduling round instead of trying them sequentially (docs/PARALLELISM.md).  \
+     Placements and ledgers are identical to the serial chain; only round latency \
+     changes.  Implies a default resilience policy when none is configured.  Only \
+     meaningful for flow-based schedulers."
+  in
+  Arg.(value & flag & info [ "portfolio" ] ~doc)
+
+let jobs =
+  let doc =
+    "Run up to $(docv) seeds concurrently on OCaml 5 domains (docs/PARALLELISM.md).  \
+     Reports are still printed in seed order.  Ignored with $(b,--trace) or \
+     $(b,--obs-summary), whose instrumentation is process-global, and not supported \
+     together with HIRE_CHAOS."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-seed latency and solver stats.")
 
@@ -273,7 +324,7 @@ let cmd =
     Term.(
       const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction
       $ faults_flag $ mtbf $ mttr $ max_retries $ solver_budget $ solver_steps $ guard
-      $ no_incremental $ verbose $ csv $ trace $ obs_summary)
+      $ no_incremental $ portfolio $ jobs $ verbose $ csv $ trace $ obs_summary)
 
 (* [~catch:false] so bad flag values (unknown scheduler/setup) and
    unreadable/unwritable files exit 1 with a one-line error instead of

@@ -13,26 +13,31 @@ let pp fmt b =
   | None, Some s -> Format.fprintf fmt "steps<=%d" s
   | Some w, Some s -> Format.fprintf fmt "wall<=%.6fs,steps<=%d" w s
 
-type reason = Wall_clock of float | Steps of int | Chaos
+type reason = Wall_clock of float | Steps of int | Chaos | Cancelled
 
 let pp_reason fmt = function
   | Wall_clock s -> Format.fprintf fmt "wall-clock budget exhausted (%.6fs)" s
   | Steps n -> Format.fprintf fmt "step budget exhausted (%d steps)" n
   | Chaos -> Format.pp_print_string fmt "chaos-forced exhaustion"
+  | Cancelled -> Format.pp_print_string fmt "cancelled (lost the portfolio race)"
 
 type state = {
   budget : t;
   started : float;
+  cancel : bool Atomic.t option;
   mutable steps : int;
   mutable handicap_s : float;
   mutable forced : bool;
   mutable exhausted : reason option;  (* sticky verdict *)
 }
 
-let start budget =
+let start ?cancel budget =
   (* Only sample the clock when a wall cap can ever need it. *)
   let started = match budget.max_wall_s with Some _ -> Clock.now () | None -> 0.0 in
-  { budget; started; steps = 0; handicap_s = 0.0; forced = false; exhausted = None }
+  { budget; started; cancel; steps = 0; handicap_s = 0.0; forced = false; exhausted = None }
+
+let cancelled st =
+  match st.cancel with Some flag -> Atomic.get flag | None -> false
 
 let spend st n = st.steps <- st.steps + n
 let steps st = st.steps
@@ -45,6 +50,7 @@ let check st =
   | None ->
       let verdict =
         if st.forced then Some Chaos
+        else if cancelled st then Some Cancelled
         else
           match st.budget.max_steps with
           | Some m when st.steps >= m -> Some (Steps m)

@@ -1,6 +1,18 @@
 module Rng = Prelude.Rng
 
-type t = { rng : Rng.t; seed : int }
+(* Non-numeric seeds and stream names are hashed with an explicit fold
+   rather than the polymorphic [Hashtbl.hash] (banned from lib/flow by
+   [make lint-compare]); any stable string -> int map works. *)
+let string_seed s =
+  String.fold_left (fun h c -> (((h * 31) + Char.code c) land 0x3FFFFFFF)) 5381 s
+
+(* Draws come from named streams, each its own [Rng.t] seeded by
+   mix(seed, name).  A stream's draw sequence then depends only on how
+   many draws *that stream* has made — not on what any other stream did
+   in between — which is what lets the portfolio race replay the serial
+   chain's chaos decisions exactly (docs/PARALLELISM.md).  Streams are
+   created on first use; only the coordinator domain ever draws. *)
+type t = { seed : int; mutable streams : (string * Rng.t) list }
 
 (* [None] until the first query, then the resolved state; [activate] and
    [deactivate] pin it regardless of the environment. *)
@@ -8,7 +20,7 @@ let current : t option ref = ref None
 let resolved = ref false
 
 let activate ~seed =
-  current := Some { rng = Rng.create seed; seed };
+  current := Some { seed; streams = [] };
   resolved := true
 
 let deactivate () =
@@ -21,12 +33,6 @@ let resolve () =
     match Sys.getenv_opt "HIRE_CHAOS" with
     | None | Some "" | Some "0" -> current := None
     | Some s ->
-        (* Non-numeric values are hashed with an explicit fold rather
-           than the polymorphic [Hashtbl.hash] (banned from lib/flow by
-           [make lint-compare]); any stable string -> int map works. *)
-        let string_seed s =
-          String.fold_left (fun h c -> (((h * 31) + Char.code c) land 0x3FFFFFFF)) 5381 s
-        in
         let seed = match int_of_string_opt s with Some n -> n | None -> string_seed s in
         activate ~seed
   end
@@ -38,32 +44,39 @@ let get () =
 let enabled () = get () <> None
 let seed () = Option.map (fun t -> t.seed) (get ())
 
+let stream t name =
+  match List.find_opt (fun (n, _) -> String.equal n name) t.streams with
+  | Some (_, rng) -> rng
+  | None ->
+      let rng = Rng.create (t.seed lxor string_seed name) in
+      t.streams <- (name, rng) :: t.streams;
+      rng
+
 let count name =
   if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter name)
 
-let draw_forced_exhaustion () =
+let draw_solve ~backend =
   match get () with
-  | None -> false
+  | None -> (false, 0.0)
   | Some t ->
-      let hit = Rng.bernoulli t.rng 0.25 in
-      if hit then count "chaos.forced_exhaustions";
-      hit
-
-let draw_delay_s () =
-  match get () with
-  | None -> 0.0
-  | Some t ->
-      if Rng.bernoulli t.rng 0.25 then begin
-        count "chaos.delays";
-        Rng.float t.rng 0.002
-      end
-      else 0.0
+      let rng = stream t ("solve." ^ backend) in
+      let forced = Rng.bernoulli rng 0.25 in
+      if forced then count "chaos.forced_exhaustions";
+      let delay =
+        if Rng.bernoulli rng 0.25 then begin
+          count "chaos.delays";
+          Rng.float rng 0.002
+        end
+        else 0.0
+      in
+      (forced, delay)
 
 let corrupt_solution g =
   match get () with
   | None -> None
   | Some t ->
-      if not (Rng.bernoulli t.rng 0.5) then None
+      let rng = stream t "corrupt" in
+      if not (Rng.bernoulli rng 0.5) then None
       else begin
         (* Only arcs into zero-supply nodes: their balance must be exactly
            zero, so the ±1 flip always surfaces as a Verify violation
@@ -77,8 +90,8 @@ let corrupt_solution g =
         | [] -> None
         | l ->
             let arr = Array.of_list l in
-            let a = arr.(Rng.int t.rng (Array.length arr)) in
-            let delta = if Rng.bool t.rng then 1 else -1 in
+            let a = arr.(Rng.int rng (Array.length arr)) in
+            let delta = if Rng.bool rng then 1 else -1 in
             Graph.corrupt_flow g a delta;
             count "chaos.flow_flips";
             Some a

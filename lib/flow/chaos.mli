@@ -17,9 +17,16 @@
 
     Activation: set the [HIRE_CHAOS] environment variable to a seed
     (any non-empty value other than ["0"]; non-numeric strings are
-    hashed), or call {!activate} programmatically in tests.  All draws
-    come from one {!Prelude.Rng} stream, so a run is deterministic given
-    the seed and the sequence of injection sites.
+    hashed), or call {!activate} programmatically in tests.  Draws come
+    from {e named streams}, one {!Prelude.Rng} per injection site
+    (["solve.ssp"], ["solve.cost-scaling"], ["corrupt"], …), each seeded
+    by mixing the chaos seed with the stream name.  A stream's sequence
+    therefore depends only on how many draws that stream has made, not
+    on interleaving with other sites — the property that lets the
+    portfolio race ({!Portfolio}) replay the serial fallback chain's
+    chaos decisions exactly (docs/PARALLELISM.md).  Only the
+    coordinator domain may draw; racing solver domains never touch
+    chaos state.
 
     Scope: chaos only ever touches {e budgeted} solves and {e guarded}
     rounds — code that opted into the resilience layer.  Plain
@@ -41,18 +48,21 @@ val activate : seed:int -> unit
 (** [deactivate ()] turns chaos off, overriding the environment. *)
 val deactivate : unit -> unit
 
-(** With probability ~1/4, tell a budgeted solve its budget is spent.
-    [false] when chaos is off. *)
-val draw_forced_exhaustion : unit -> bool
-
-(** With probability ~1/4, an artificial delay (seconds) to age a solve's
-    wall budget by; [0.] otherwise or when chaos is off. *)
-val draw_delay_s : unit -> float
+(** [draw_solve ~backend] draws this budgeted solve's perturbations from
+    the ["solve." ^ backend] stream: with probability ~1/4 force its
+    budget spent ({!Budget.force_exhaustion}), and independently with
+    probability ~1/4 return an artificial delay (seconds, up to 2ms) to
+    age its wall budget by ({!Budget.inject_delay}).  [(false, 0.)] when
+    chaos is off.  Backends draw for themselves on serial budgeted
+    solves; in a portfolio race the coordinator draws on the backend's
+    behalf during replay, in the same per-stream order. *)
+val draw_solve : backend:string -> bool * float
 
 (** [corrupt_solution g] flips the flow of one randomly chosen forward
     arc that carries flow and ends in a zero-supply (internal) node — a
     corruption {!Verify.check} is guaranteed to catch, since internal
     nodes must conserve flow exactly.  Performed with probability ~1/2;
     returns the corrupted arc, or [None] when chaos is off, the draw
-    says no, or no eligible arc exists. *)
+    says no, or no eligible arc exists.  Draws from the ["corrupt"]
+    stream. *)
 val corrupt_solution : Graph.t -> Graph.arc option

@@ -21,14 +21,17 @@ type result = {
    the graph's flow (a mid-run pseudoflow is not salvageable). *)
 exception Exhausted of Budget.reason
 
-let solve ?(alpha = 8) ?budget g =
+let solve ?(alpha = 8) ?budget ?ctl g =
   if alpha < 2 then invalid_arg "Cost_scaling.solve: alpha must be >= 2";
   let t0 = Clock.now () in
-  let bstate = Option.map Budget.start budget in
+  (* As in [Mcmf.solve]: an external [ctl] (portfolio race) supplies the
+     budget state and retains chaos ownership in the coordinator. *)
+  let external_ctl = ctl <> None in
+  let bstate = match ctl with Some _ -> ctl | None -> Option.map Budget.start budget in
   (match bstate with
-  | Some st when Chaos.enabled () ->
-      if Chaos.draw_forced_exhaustion () then Budget.force_exhaustion st;
-      let d = Chaos.draw_delay_s () in
+  | Some st when (not external_ctl) && Chaos.enabled () ->
+      let forced, d = Chaos.draw_solve ~backend:"cost-scaling" in
+      if forced then Budget.force_exhaustion st;
       if d > 0.0 then Budget.inject_delay st d
   | _ -> ());
   let check_budget () =
@@ -160,7 +163,7 @@ let solve ?(alpha = 8) ?budget g =
        Graph.reset_flow g;
        exhausted := Some reason);
     let degraded = !exhausted <> None in
-    if degraded && Obs.enabled () then begin
+    if degraded && instrument then begin
       Obs.Registry.incr (Obs.Registry.counter "flow.budget_exhausted");
       Obs.Trace.emit "solver_degraded"
         [

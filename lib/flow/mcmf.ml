@@ -134,17 +134,24 @@ let warm_potentials_valid g pot =
   done;
   !ok
 
-let solve ?budget ?scratch:s ?(warm = false) g =
+let solve ?budget ?ctl ?scratch:s ?(warm = false) g =
   let t0 = Clock.now () in
-  let bstate = Option.map Budget.start budget in
-  (* Chaos only ever perturbs budgeted solves: an unbudgeted caller has
-     no degraded path to absorb it. *)
+  (* [ctl] is an externally prepared budget state (portfolio race): the
+     coordinator owns it — and owns chaos, drawing on this backend's
+     behalf during replay — so the solve itself must not draw.  Without
+     [ctl], chaos only ever perturbs budgeted solves: an unbudgeted
+     caller has no degraded path to absorb it. *)
+  let external_ctl = ctl <> None in
+  let bstate = match ctl with Some _ -> ctl | None -> Option.map Budget.start budget in
   (match bstate with
-  | Some st when Chaos.enabled () ->
-      if Chaos.draw_forced_exhaustion () then Budget.force_exhaustion st;
-      let d = Chaos.draw_delay_s () in
+  | Some st when (not external_ctl) && Chaos.enabled () ->
+      let forced, d = Chaos.draw_solve ~backend:"ssp" in
+      if forced then Budget.force_exhaustion st;
       if d > 0.0 then Budget.inject_delay st d
   | _ -> ());
+  (* Read the obs flag exactly once: a solve running on a racing domain
+     is spawned with obs quiesced and must never emit, even if the
+     coordinator re-enables obs while the domain still runs. *)
   let instrument = Obs.enabled () in
   let t_spfa = ref 0.0 and t_dijkstra = ref 0.0 and t_augment = ref 0.0 in
   let staged acc f =
@@ -266,7 +273,7 @@ let solve ?budget ?scratch:s ?(warm = false) g =
      reuse them next round. *)
   s.pot_nodes <- n;
   let degraded = !exhausted <> None in
-  if degraded && Obs.enabled () then begin
+  if degraded && instrument then begin
     Obs.Registry.incr (Obs.Registry.counter "flow.budget_exhausted");
     Obs.Trace.emit "solver_degraded"
       [

@@ -1,0 +1,160 @@
+module Clock = Prelude.Clock
+
+type job = { name : string; run : ctl:Budget.state -> Graph.t -> Mcmf.result }
+
+type entry = {
+  name : string;
+  ran : bool;
+  result : Mcmf.result option;
+  graph : Graph.t;
+  ctl : Budget.state option;
+  wall_s : float;
+  cancel_requested : bool;
+}
+
+type outcome = {
+  winner : int option;
+  entries : entry array;
+  race_wall_s : float;
+  eager : bool;
+}
+
+(* Eager fan-out only pays off when the racing domains can actually run
+   in parallel; on a single-core host the deterministic-priority race
+   degenerates gracefully to priority-order solves with early exit,
+   which produces the same outputs (the decision procedure never looks
+   at timing) at serial-chain cost. *)
+let default_eager () = Domain.recommended_domain_count () >= 2
+
+(* Per-job state shared with (at most) one worker domain.  The mutable
+   fields are written by the worker and read by the coordinator strictly
+   after [Domain.join] — the join is the publication point.  The only
+   concurrently touched field is [cancel], an atomic the coordinator
+   sets and the worker's budget checks poll. *)
+type slot = {
+  job : job;
+  g : Graph.t;
+  cancel : bool Atomic.t;
+  mutable verdict : (Mcmf.result, exn) result option;
+  mutable ctl_ : Budget.state option;
+  mutable wall : float;
+}
+
+let run_slot ~budget s =
+  let t0 = Clock.now () in
+  let v =
+    try
+      (* The budget state (and hence the wall-cap clock) starts on the
+         worker, exactly where a serial solve would start it. *)
+      let ctl = Budget.start ~cancel:s.cancel budget in
+      s.ctl_ <- Some ctl;
+      Ok (s.job.run ~ctl s.g)
+    with e -> Error e
+  in
+  s.wall <- Clock.now () -. t0;
+  s.verdict <- Some v
+
+let entry_of s =
+  {
+    name = s.job.name;
+    ran = s.verdict <> None;
+    result = (match s.verdict with Some (Ok r) -> Some r | _ -> None);
+    graph = s.g;
+    ctl = s.ctl_;
+    wall_s = s.wall;
+    cancel_requested = Atomic.get s.cancel;
+  }
+
+let emit_stats outcome =
+  if Obs.enabled () then begin
+    let incr name = Obs.Registry.incr (Obs.Registry.counter name) in
+    incr "flow.portfolio.races";
+    (match outcome.winner with
+    | Some i -> incr ("flow.portfolio.win." ^ outcome.entries.(i).name)
+    | None -> incr "flow.portfolio.no_winner");
+    Array.iteri
+      (fun i e ->
+        if e.ran && outcome.winner <> Some i then incr ("flow.portfolio.loss." ^ e.name);
+        if e.cancel_requested then incr ("flow.portfolio.cancelled." ^ e.name);
+        if e.ran then
+          Obs.Histogram.observe
+            (Obs.Registry.histogram ("flow.portfolio.solve_s." ^ e.name))
+            e.wall_s)
+      outcome.entries;
+    Obs.Histogram.observe (Obs.Registry.histogram "flow.portfolio.race_s") outcome.race_wall_s
+  end
+
+let race ?eager ~budget ~source ~decide jobs =
+  if jobs = [] then invalid_arg "Portfolio.race: no jobs";
+  let eager = match eager with Some e -> e | None -> default_eager () in
+  let t0 = Clock.now () in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun job ->
+           {
+             job;
+             g = Graph.copy source;
+             cancel = Atomic.make false;
+             verdict = None;
+             ctl_ = None;
+             wall = 0.0;
+           })
+         jobs)
+  in
+  let n = Array.length slots in
+  (* Quiesce obs for the whole race: worker domains read the flag once
+     at solve entry, and there is no ordering between a worker's read
+     and a coordinator write, so the flag must stay off until every
+     domain has been joined.  The caller re-emits winner-side obs after
+     the race (the [decide] callback must itself stay obs-silent). *)
+  let obs_prev = Obs.enabled () in
+  Obs.set_enabled false;
+  let winner = ref None in
+  let domains = Array.make n None in
+  let joined = Array.make n false in
+  let join i =
+    match domains.(i) with
+    | Some d when not joined.(i) ->
+        joined.(i) <- true;
+        Domain.join d
+    | _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* On any exit — including a [decide] exception — stop and reap
+         every outstanding domain before giving obs back.  Only slots
+         with a live domain are cancelled: in lazy mode nothing is
+         running, and the winner was already joined. *)
+      Array.iteri
+        (fun i s -> if domains.(i) <> None && not joined.(i) then Atomic.set s.cancel true)
+        slots;
+      for i = 0 to n - 1 do
+        join i
+      done;
+      Obs.set_enabled obs_prev)
+    (fun () ->
+      if eager then
+        Array.iteri (fun i s -> domains.(i) <- Some (Domain.spawn (fun () -> run_slot ~budget s))) slots;
+      let i = ref 0 in
+      while !winner = None && !i < n do
+        let s = slots.(!i) in
+        if eager then join !i else run_slot ~budget s;
+        if decide !i (entry_of s) then winner := Some !i;
+        incr i
+      done);
+  (* A worker exception is a genuine bug (solvers report exhaustion and
+     cancellation through their results); surface the first one. *)
+  Array.iter
+    (fun s -> match s.verdict with Some (Error e) -> raise e | _ -> ())
+    slots;
+  let outcome =
+    {
+      winner = !winner;
+      entries = Array.map entry_of slots;
+      race_wall_s = Clock.now () -. t0;
+      eager;
+    }
+  in
+  emit_stats outcome;
+  outcome

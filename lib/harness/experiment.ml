@@ -12,6 +12,7 @@ type spec = {
   faults : Faults.spec option;
   resilience : Hire.Hire_scheduler.resilience option;
   incremental : bool;
+  portfolio : bool;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     faults = None;
     resilience = None;
     incremental = true;
+    portfolio = false;
   }
 
 let run spec =
@@ -53,7 +55,7 @@ let run spec =
   let scenario = Sim.Scenario.build store scenario_rng ~mu:spec.mu jobs in
   let sched =
     Schedulers.Registry.create ?resilience:spec.resilience ~incremental:spec.incremental
-      spec.scheduler ~seed:spec.seed cluster
+      ~portfolio:spec.portfolio spec.scheduler ~seed:spec.seed cluster
   in
   let faults_plan =
     Option.map
@@ -104,6 +106,7 @@ let describe spec =
     spec.k spec.seed
     (match spec.faults with None -> "" | Some _ -> " +faults")
     ^ (match spec.resilience with None -> "" | Some _ -> " +resilience")
+    ^ (if spec.portfolio then " +portfolio" else "")
     ^ if spec.incremental then "" else " -incremental"
 
 (* Bump when the meaning of a cell changes without its spec changing
@@ -152,4 +155,9 @@ let cell_key spec =
      the default (on) keeps the historical key; only the explicit
      escape hatch gets its own cells. *)
   if not spec.incremental then addf "|incremental=off";
+  (* The portfolio race replays the serial chain's decisions exactly, so
+     its reports match serial cells — but only for deterministic fields
+     (solver wall times differ), so raced cells get their own keys.
+     Opt-in segment: portfolio-off sweeps keep their historical keys. *)
+  if spec.portfolio then addf "|portfolio=on";
   Digest.to_hex (Digest.string (Buffer.contents b))

@@ -34,6 +34,13 @@ type spec = {
           (docs/PERFORMANCE.md).  Results are bit-identical either way,
           so the default keeps the historical cache key; [false] — the
           verification escape hatch — gets separate cells. *)
+  portfolio : bool;
+      (** race the MCMF backends on OCaml 5 domains inside each HIRE
+          round (docs/PARALLELISM.md); effective only together with
+          [resilience].  Placements and deterministic report fields
+          match the serial chain, but solver wall times differ, so
+          [true] gets its own cache cells; [false] (the default) keeps
+          the historical keys. *)
 }
 
 val default : spec

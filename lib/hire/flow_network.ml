@@ -738,11 +738,15 @@ type solver = Ssp | Cost_scaling
 
 let solver_name = function Ssp -> "ssp" | Cost_scaling -> "cost-scaling"
 
-let solve_only ?(solver = Ssp) ?budget ?scratch ?warm t =
+(* Module-level solve usable on any graph carrying this network's node
+   ids — the builder's own graph or a private [Graph.copy] snapshot (the
+   portfolio race).  [ctl] is forwarded to the backend as its prepared
+   budget state (see Mcmf.solve). *)
+let solve_graph ?(solver = Ssp) ?budget ?ctl ?scratch ?warm g =
   match solver with
-  | Ssp -> Mcmf.solve ?budget ?scratch ?warm t.b.g
+  | Ssp -> Mcmf.solve ?budget ?ctl ?scratch ?warm g
   | Cost_scaling ->
-      let r = Flow.Cost_scaling.solve ?budget t.b.g in
+      let r = Flow.Cost_scaling.solve ?budget ?ctl g in
       {
         Mcmf.shipped = r.Flow.Cost_scaling.shipped;
         unshipped = r.Flow.Cost_scaling.unshipped;
@@ -753,9 +757,12 @@ let solve_only ?(solver = Ssp) ?budget ?scratch ?warm t =
         profile = r.Flow.Cost_scaling.profile;
       }
 
-let extract t ~solver =
+let solve_only ?solver ?budget ?ctl ?scratch ?warm t =
+  solve_graph ?solver ?budget ?ctl ?scratch ?warm t.b.g
+
+let extract_on t ~graph ~solver =
   let extract_t0 = if Obs.enabled () then Prelude.Clock.now () else 0.0 in
-  let paths = Mcmf.decompose t.b.g in
+  let paths = Mcmf.decompose graph in
   let placements = ref [] and flavor_picks = ref [] in
   List.iter
     (fun (p : Mcmf.path) ->
@@ -793,6 +800,8 @@ let extract t ~solver =
         ("extract_s", Obs.Trace.Float (Prelude.Clock.now () -. extract_t0));
       ];
   { placements = List.rev !placements; flavor_picks = List.rev !flavor_picks; solver }
+
+let extract t ~solver = extract_on t ~graph:t.b.g ~solver
 
 let solve_and_extract ?solver ?budget ?scratch ?warm t =
   let solver = solve_only ?solver ?budget ?scratch ?warm t in

@@ -42,6 +42,17 @@ type config = {
       (** carry SSP node potentials across rounds when still valid.
           Off by default: warm starts preserve objective values but may
           change tie-breaks between equally-cheap placements. *)
+  portfolio : bool;
+      (** race both MCMF backends on OCaml 5 domains instead of trying
+          them sequentially (docs/PARALLELISM.md).  Only effective with
+          a [resilience] policy installed (the race reuses the chain's
+          accept/reject procedure); placements, ledgers, and resilience
+          reports are identical to the serial chain's — only latency
+          changes.  Also forced on resilient rounds by [HIRE_PORTFOLIO=1]
+          in the environment.  Off by default. *)
+  portfolio_eager : bool option;
+      (** override {!Flow.Portfolio.race}'s spawn policy ([None] = let
+          the host's core count decide); tests force eager fan-out. *)
 }
 
 val default_config : config

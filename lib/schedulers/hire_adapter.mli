@@ -12,6 +12,8 @@ val create :
   ?resilience:Hire.Hire_scheduler.resilience ->
   ?incremental:bool ->
   ?warm_start:bool ->
+  ?portfolio:bool ->
+  ?portfolio_eager:bool ->
   ?name:string ->
   Sim.Cluster.t ->
   Sim.Scheduler_intf.t

@@ -14,10 +14,16 @@ val names : string list
     (default [true]) enables the persistent flow-network builder and
     solver-scratch reuse on the HIRE variants — results are identical
     either way (docs/PERFORMANCE.md); [false] is the escape hatch.
+    [portfolio] races the MCMF backends on OCaml 5 domains on the HIRE
+    variants (docs/PARALLELISM.md) — effective only together with a
+    [resilience] policy; [portfolio_eager] overrides the race's spawn
+    policy (tests force eager fan-out).
     @raise Invalid_argument on unknown names. *)
 val create :
   ?resilience:Hire.Hire_scheduler.resilience ->
   ?incremental:bool ->
+  ?portfolio:bool ->
+  ?portfolio_eager:bool ->
   string ->
   seed:int ->
   Sim.Cluster.t ->

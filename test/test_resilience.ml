@@ -195,15 +195,34 @@ let test_chaos_corruption_caught_by_verify () =
 let test_chaos_deterministic_given_seed () =
   let draws seed =
     with_chaos seed @@ fun () ->
-    List.init 32 (fun _ -> (Chaos.draw_forced_exhaustion (), Chaos.draw_delay_s ()))
+    List.init 32 (fun i ->
+        Chaos.draw_solve ~backend:(if i mod 2 = 0 then "ssp" else "cost-scaling"))
   in
   Alcotest.(check bool) "same seed, same draws" true (draws 7 = draws 7);
   Alcotest.(check bool) "different seed, different draws" true (draws 7 <> draws 8)
 
+(* Streams are independent: a backend's draw sequence does not depend on
+   how many draws other streams made in between.  This is the property
+   the portfolio replay relies on (docs/PARALLELISM.md). *)
+let test_chaos_streams_independent () =
+  let ssp_only seed =
+    with_chaos seed @@ fun () -> List.init 16 (fun _ -> Chaos.draw_solve ~backend:"ssp")
+  in
+  let ssp_interleaved seed =
+    with_chaos seed @@ fun () ->
+    List.init 16 (fun _ ->
+        let d = Chaos.draw_solve ~backend:"ssp" in
+        ignore (Chaos.draw_solve ~backend:"cost-scaling");
+        d)
+  in
+  Alcotest.(check bool)
+    "ssp stream unaffected by cost-scaling draws" true
+    (ssp_only 7 = ssp_interleaved 7)
+
 let test_chaos_off_is_inert () =
   Chaos.deactivate ();
-  Alcotest.(check bool) "no forced exhaustion" false (Chaos.draw_forced_exhaustion ());
-  Alcotest.(check (float 0.0)) "no delay" 0.0 (Chaos.draw_delay_s ());
+  Alcotest.(check bool) "no perturbation" true
+    (Chaos.draw_solve ~backend:"ssp" = (false, 0.0));
   let g = fan_graph 3 in
   ignore (Mcmf.solve g);
   Alcotest.(check bool) "no corruption" true (Chaos.corrupt_solution g = None)
@@ -475,6 +494,7 @@ let () =
         [
           quick "corruption is caught by Verify.check" test_chaos_corruption_caught_by_verify;
           quick "deterministic given seed" test_chaos_deterministic_given_seed;
+          quick "streams are independent" test_chaos_streams_independent;
           quick "inert when off" test_chaos_off_is_inert;
         ] );
       ( "guard",
