@@ -1,4 +1,4 @@
-.PHONY: all build test check lint-compare bench-solver bench-portfolio doc clean
+.PHONY: all build test check lint-compare bench-solver bench-portfolio bench-journal doc clean
 
 all: build
 
@@ -35,6 +35,14 @@ bench-portfolio:
 	@grep -q '"identical": true' BENCH_6.json
 	@echo "bench-portfolio: OK (BENCH_6.json)"
 
+# Journaling-overhead and crash-recovery benchmark; writes BENCH_7.json
+# (see docs/JOURNAL.md for how to read it).  Exits non-zero if any
+# journaled, crashed, or recovered run diverges from the plain run.
+bench-journal:
+	dune exec bench/bench_journal.exe -- --out BENCH_7.json
+	@grep -q '"identical": true' BENCH_7.json
+	@echo "bench-journal: OK (BENCH_7.json)"
+
 # Tier-1 gate plus smoke-checks that the observability and fault flags
 # are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md), that a
 # small deterministic fault-injected run completes, that bad flags fail
@@ -42,9 +50,12 @@ bench-portfolio:
 # (docs/RUNNER.md) executes and resumes a tiny sweep, and that a run
 # with an exhausted solver budget degrades along the fallback chain
 # instead of wedging (docs/RESILIENCE.md), that a budgeted portfolio
-# run races and records per-backend wins (docs/PARALLELISM.md), and
-# that a short solver benchmark still certifies the incremental network
-# path bit-identical (docs/PERFORMANCE.md).
+# run races and records per-backend wins (docs/PARALLELISM.md), that a
+# short solver benchmark still certifies the incremental network path
+# bit-identical (docs/PERFORMANCE.md), and that a journaled run crashed
+# mid-flight with a corrupted WAL tail recovers — tear truncated
+# (journal.torn_tail), replayed, and finished byte-identical to an
+# uninterrupted run (docs/JOURNAL.md).
 check: lint-compare
 	dune build
 	dune runtest
@@ -81,6 +92,22 @@ check: lint-compare
 	@grep -q '"identical": true' /tmp/hire_bench_smoke.json || \
 		{ echo "check: FAIL (incremental network diverged)"; exit 1; }
 	rm -f /tmp/hire_bench_smoke.json
+	dune exec bin/hire_service.exe -- --help=plain | grep -q -- '--recover'
+	dune exec bin/hire_sim.exe -- --help=plain | grep -q -- '--journal'
+	rm -rf /tmp/hire_check_journal
+	dune exec bin/hire_service.exe -- --state-dir /tmp/hire_check_journal/ref \
+		-k 8 --horizon 30 --seed 1 --faults --mtbf 40 --mttr 5 \
+		--csv /tmp/hire_check_journal/ref.csv > /dev/null
+	@if dune exec bin/hire_service.exe -- --state-dir /tmp/hire_check_journal/run \
+		-k 8 --horizon 30 --seed 1 --faults --mtbf 40 --mttr 5 \
+		--crash-at 300 > /dev/null 2>&1; then \
+		echo "check: FAIL (armed crash should exit non-zero)"; exit 1; fi
+	printf '\x0a\x00\x00' >> /tmp/hire_check_journal/run/journal/wal.bin
+	dune exec bin/hire_service.exe -- --state-dir /tmp/hire_check_journal/run \
+		--recover --obs-summary --csv /tmp/hire_check_journal/rec.csv \
+		| grep -Eq 'journal\.torn_tail +1'
+	cmp /tmp/hire_check_journal/ref.csv /tmp/hire_check_journal/rec.csv
+	rm -rf /tmp/hire_check_journal
 	@echo "check: OK"
 
 # odoc is optional in this environment; the lib/obs dune env marks its

@@ -1,0 +1,261 @@
+(* Journaled scheduler service: one experiment cell run under a
+   write-ahead log with periodic checkpoints, recoverable after a crash
+   (docs/JOURNAL.md).  The spec is serialized into the WAL header, so
+   [--recover] needs nothing but the state directory: the world is
+   rebuilt from the stored blob, the newest checkpoint is overlaid, the
+   torn tail is truncated, and the remaining records are replayed by
+   deterministic re-execution before the run continues live.
+
+   State layout (docs/RUNNER.md): everything lives under --state-dir,
+   journal in <state-dir>/journal — the same convention hire_sweep uses
+   for its result cache (<state-dir>/cache). *)
+
+let journal_subdir = "journal"
+
+(* Journaled runs substitute the simulated think time for the measured
+   solver wall clock: replay must re-derive every record byte for byte,
+   and wall time is the one nondeterministic input. *)
+let config = { Sim.Simulator.default_config with deterministic_wall = true }
+
+let parse_crash_at s =
+  match String.index_opt s ':' with
+  | None -> (int_of_string s, None)
+  | Some i ->
+      ( int_of_string (String.sub s 0 i),
+        Some (int_of_string (String.sub s (i + 1) (String.length s - i - 1))) )
+
+let run state_dir checkpoint_every recover crash_at scheduler mu k horizon seed setup util
+    fraction faults_on mtbf mttr max_retries csv obs_summary =
+  if obs_summary then Obs.set_enabled true;
+  Journal.Chaos.init_env ();
+  (match crash_at with
+  | None -> ()
+  | Some s ->
+      let crash_at, tear = parse_crash_at s in
+      Journal.Chaos.arm ~crash_at ?tear ());
+  let dir = Filename.concat state_dir journal_subdir in
+  let setup =
+    match setup with
+    | "homogeneous" | "homog" -> Sim.Cluster.Homogeneous
+    | "heterogeneous" | "het" -> Sim.Cluster.Heterogeneous
+    | other -> failwith (Printf.sprintf "unknown setup %S (homogeneous|heterogeneous)" other)
+  in
+  if not (List.mem scheduler Schedulers.Registry.names) then
+    failwith
+      (Printf.sprintf "unknown scheduler %S (known: %s)" scheduler
+         (String.concat ", " Schedulers.Registry.names));
+  let faults =
+    if not faults_on then None
+    else
+      Some
+        {
+          Faults.plan =
+            {
+              Faults.Plan.default_config with
+              server_mtbf = mtbf;
+              switch_mtbf = mtbf;
+              server_mttr = mttr;
+              switch_mttr = mttr;
+            };
+          policy = Faults.Policy.create ~max_retries ();
+        }
+  in
+  let spec_of_flags =
+    {
+      Harness.Experiment.scheduler;
+      mu;
+      setup;
+      k;
+      horizon;
+      seed;
+      target_utilization = util;
+      inc_capable_fraction = fraction;
+      faults;
+      resilience = None;
+      incremental = true;
+      portfolio = false;
+    }
+  in
+  let service =
+    if recover then begin
+      let r =
+        Sim.Service.recover ~dir ~checkpoint_every
+          ~rebuild:(fun header ->
+            let spec = Harness.Experiment.spec_of_blob header in
+            Printf.printf "recovering: %s\n%!" (Harness.Experiment.describe spec);
+            Harness.Experiment.prepare ~config spec)
+          ()
+      in
+      Printf.printf "recovered: %d record(s) replayed%s\n%!" r.Sim.Service.replayed
+        (match r.Sim.Service.from_checkpoint with
+        | None -> ", from genesis"
+        | Some seq -> Printf.sprintf ", checkpoint covered seq < %d" seq);
+      r.Sim.Service.service
+    end
+    else begin
+      let spec = spec_of_flags in
+      Printf.printf "journaling %s into %s\n%!" (Harness.Experiment.describe spec) dir;
+      Sim.Service.start ~dir ~checkpoint_every
+        ~header:(Harness.Experiment.spec_to_blob spec)
+        (Harness.Experiment.prepare ~config spec)
+    end
+  in
+  let result = Sim.Service.run service in
+  let report = result.Sim.Simulator.report in
+  Printf.printf "%s\n" (Format.asprintf "%a" Sim.Metrics.pp_report report);
+  (match csv with
+  | None -> ()
+  | Some path ->
+      (* The spec identity for the row comes from the flags on a fresh
+         start; on recovery re-read it from the journal header so the
+         row labels match the journaled run, not the defaults. *)
+      let spec =
+        if recover then
+          match Journal.Source.load ~path:(Filename.concat dir "wal.bin") with
+          | Ok l -> Harness.Experiment.spec_of_blob l.Journal.Source.header
+          | Error e -> Journal.Error.raise_ e
+        else spec_of_flags
+      in
+      let row =
+        Sim.Csv_export.row ~faults:(spec.Harness.Experiment.faults <> None) ~resilience:false
+          ~scheduler:spec.Harness.Experiment.scheduler ~mu:spec.Harness.Experiment.mu
+          ~setup:spec.Harness.Experiment.setup ~seed:spec.Harness.Experiment.seed report
+      in
+      Sim.Csv_export.write_file
+        ~faults:(spec.Harness.Experiment.faults <> None)
+        ~resilience:false path [ row ];
+      Printf.printf "metrics row written to %s\n" path);
+  if obs_summary then begin
+    Printf.printf "--- observability summary ---\n%!";
+    Format.printf "%a%!" Obs.Registry.pp_summary ()
+  end
+
+open Cmdliner
+
+let state_dir =
+  let doc =
+    "State directory (docs/RUNNER.md): the journal lives in \
+     $(docv)/journal.  Shared convention with $(b,hire_sweep)'s result \
+     cache ($(docv)/cache)."
+  in
+  Arg.(value & opt string (Filename.concat "results" "service")
+       & info [ "state-dir"; "journal-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every =
+  let doc =
+    "Write a full state checkpoint every $(docv) scheduling rounds, so recovery \
+     replays only the WAL suffix past the newest checkpoint.  0 disables \
+     checkpoints (recovery replays from genesis)."
+  in
+  Arg.(value & opt int 250 & info [ "checkpoint-every" ] ~docv:"ROUNDS" ~doc)
+
+let recover =
+  let doc =
+    "Resume a crashed run from $(b,--state-dir): truncate the torn WAL tail, rebuild \
+     the world from the journaled spec, overlay the newest checkpoint, replay the \
+     remaining records, and continue to completion.  All spec flags are ignored — the \
+     spec comes from the journal header."
+  in
+  Arg.(value & flag & info [ "recover" ] ~doc)
+
+let crash_at =
+  let doc =
+    "Arm the seeded crash injector: the append of WAL record $(docv) (format \
+     SEQ or SEQ:TEAR-BYTES) writes only a torn prefix and the process dies with \
+     exit code 9 — the state a kill -9 mid-write leaves.  Equivalent to \
+     HIRE_CRASH_AT.  Testing hook for the CI crash-recovery leg."
+  in
+  Arg.(value & opt (some string) None & info [ "crash-at" ] ~docv:"SEQ[:TEAR]" ~doc)
+
+let scheduler =
+  let doc = "Scheduler to run: " ^ String.concat ", " Schedulers.Registry.names ^ "." in
+  Arg.(value & opt string "hire" & info [ "scheduler"; "s" ] ~docv:"NAME" ~doc)
+
+let mu =
+  let doc = "Target ratio of jobs requesting INC resources." in
+  Arg.(value & opt float 1.0 & info [ "mu" ] ~docv:"RATIO" ~doc)
+
+let k =
+  let doc = "Fat-tree arity." in
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+
+let horizon =
+  let doc = "Trace length in simulated seconds." in
+  Arg.(value & opt float 400.0 & info [ "horizon" ] ~docv:"SECONDS" ~doc)
+
+let seed =
+  let doc = "Seed of the run (one journal = one cell; sweeps drive hire_sweep)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let setup =
+  let doc = "Switch capability setup: homogeneous or heterogeneous." in
+  Arg.(value & opt string "homogeneous" & info [ "setup" ] ~docv:"SETUP" ~doc)
+
+let util =
+  let doc = "Offered CPU load of the generated trace." in
+  Arg.(value & opt float 0.8 & info [ "util" ] ~docv:"FRACTION" ~doc)
+
+let fraction =
+  let doc = "Fraction of switches that are INC-capable." in
+  Arg.(value & opt (some float) None & info [ "inc-capable" ] ~docv:"FRACTION" ~doc)
+
+let faults_flag =
+  let doc = "Enable deterministic fault injection (docs/FAULTS.md)." in
+  Arg.(value & flag & info [ "faults" ] ~doc)
+
+let mtbf =
+  let doc = "Mean time between failures per node, simulated seconds (with $(b,--faults))." in
+  Arg.(value & opt float 200.0 & info [ "mtbf" ] ~docv:"SECONDS" ~doc)
+
+let mttr =
+  let doc = "Mean time to repair per node, simulated seconds (with $(b,--faults))." in
+  Arg.(value & opt float 30.0 & info [ "mttr" ] ~docv:"SECONDS" ~doc)
+
+let max_retries =
+  let doc = "Requeue attempts per killed task group before cancellation." in
+  Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let csv =
+  let doc = "Write the final metric row to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let obs_summary =
+  let doc =
+    "Enable instrumentation and print the observability registry after the run \
+     (includes the journal.* counters)."
+  in
+  Arg.(value & flag & info [ "obs-summary" ] ~doc)
+
+let cmd =
+  let doc = "run one scheduling experiment under a crash-recoverable journal" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs one experiment cell with a write-ahead log underneath \
+         (docs/JOURNAL.md): every scheduling decision is logged before it takes \
+         effect, every round commit is fsynced, and full state checkpoints are \
+         written periodically.  After a crash, $(b,--recover) lands back on the \
+         uninterrupted run's state byte for byte and continues.";
+      `S Manpage.s_exit_status;
+      `P "9 on an armed $(b,--crash-at)/HIRE_CRASH_AT injected crash.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "hire_service" ~version:"1.0" ~doc ~man)
+    Term.(
+      const run $ state_dir $ checkpoint_every $ recover $ crash_at $ scheduler $ mu $ k
+      $ horizon $ seed $ setup $ util $ fraction $ faults_flag $ mtbf $ mttr $ max_retries
+      $ csv $ obs_summary)
+
+let () =
+  try exit (Cmd.eval ~catch:false cmd) with
+  | Journal.Chaos.Crashed seq ->
+      Printf.eprintf "hire_service: injected crash at WAL seq %d\n" seq;
+      exit 9
+  | Journal.Error.Journal_error e ->
+      Printf.eprintf "hire_service: %s\n" (Journal.Error.to_string e);
+      exit 1
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      Printf.eprintf "hire_service: %s\n" msg;
+      exit 1

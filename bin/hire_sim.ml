@@ -5,7 +5,7 @@
 
 let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max_retries
     solver_budget solver_steps guard no_incremental portfolio jobs verbose csv trace
-    obs_summary =
+    obs_summary journal checkpoint_every =
   if trace <> None || obs_summary then Obs.set_enabled true;
   (match trace with
   | Some path -> (
@@ -91,6 +91,31 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
     Printf.printf "portfolio: racing ssp + cost-scaling on OCaml 5 domains per round\n%!";
   let reports =
     let instrumented = trace <> None || obs_summary in
+    match journal with
+    | Some state_dir ->
+        (* Journaled runs are single-seed — one journal directory holds
+           one run — and deterministic-wall, so a crash/recovery replay
+           re-derives every WAL record byte for byte (docs/JOURNAL.md).
+           Layout follows the --state-dir convention: the WAL lives in
+           <state-dir>/journal; recovery is bin/hire_service --recover. *)
+        List.map
+          (fun seed ->
+            let spec = { spec with seed } in
+            let config =
+              { Sim.Simulator.default_config with deterministic_wall = true }
+            in
+            let service =
+              Sim.Service.start
+                ~dir:(Filename.concat state_dir "journal")
+                ~checkpoint_every
+                ~header:(Harness.Experiment.spec_to_blob spec)
+                (Harness.Experiment.prepare ~config spec)
+            in
+            (Sim.Service.run service).Sim.Simulator.report)
+          (match seeds with
+          | [ _ ] -> seeds
+          | _ -> failwith "--journal runs exactly one seed (pass --seeds N)")
+    | None ->
     if jobs <= 1 || List.length seeds <= 1 then Harness.Experiment.run_seeds spec seeds
     else if instrumented then begin
       (* Instrumentation (obs registry, trace ring) is process-global;
@@ -307,6 +332,23 @@ let obs_summary =
   in
   Arg.(value & flag & info [ "obs-summary" ] ~doc)
 
+let journal =
+  let doc =
+    "Journal the run under state directory $(docv) (WAL in $(docv)/journal, \
+     docs/JOURNAL.md): every scheduling decision is write-ahead logged and every \
+     round commit fsynced, so a crashed run resumes with $(b,hire_service \
+     --recover --state-dir) $(docv).  Single-seed only; implies deterministic \
+     solver wall times in the report."
+  in
+  Arg.(value & opt (some string) None & info [ "journal"; "state-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every =
+  let doc =
+    "With $(b,--journal): write a full state checkpoint every $(docv) rounds (0 \
+     disables checkpoints; recovery then replays from genesis)."
+  in
+  Arg.(value & opt int 250 & info [ "checkpoint-every" ] ~docv:"ROUNDS" ~doc)
+
 let cmd =
   let doc = "run one HIRE-reproduction scheduling experiment" in
   let man =
@@ -324,7 +366,8 @@ let cmd =
     Term.(
       const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction
       $ faults_flag $ mtbf $ mttr $ max_retries $ solver_budget $ solver_steps $ guard
-      $ no_incremental $ portfolio $ jobs $ verbose $ csv $ trace $ obs_summary)
+      $ no_incremental $ portfolio $ jobs $ verbose $ csv $ trace $ obs_summary
+      $ journal $ checkpoint_every)
 
 (* [~catch:false] so bad flag values (unknown scheduler/setup) and
    unreadable/unwritable files exit 1 with a one-line error instead of

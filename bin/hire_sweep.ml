@@ -18,7 +18,7 @@ let parse_pool = function
   | "inline" -> Runner.Pool.Inline
   | other -> failwith (Printf.sprintf "unknown pool mode %S (fork|domain|inline)" other)
 
-let sweep jobs pool resume no_cache cache_dir timeout retries schedulers mus setups seeds k
+let sweep jobs pool resume no_cache state_dir cache_dir timeout retries schedulers mus setups seeds k
     horizon util fraction faults_on mtbf mttr max_retries solver_budget solver_steps
     guard no_incremental portfolio out quiet =
   List.iter
@@ -78,6 +78,12 @@ let sweep jobs pool resume no_cache cache_dir timeout retries schedulers mus set
     }
   in
   let specs = Experiment.sweep base ~schedulers ~mus ~setups ~seeds in
+  (* One --state-dir convention (docs/RUNNER.md): the result cache lives
+     in <state-dir>/cache unless --cache-dir overrides it, the same
+     layout hire_service uses for its journal (<state-dir>/journal). *)
+  let cache_dir =
+    match cache_dir with Some d -> d | None -> Filename.concat state_dir "cache"
+  in
   let cache = if no_cache then None else Some (Runner.Cache.create cache_dir) in
   let log line = if not quiet then Printf.eprintf "%s\n%!" line in
   Printf.printf "hire_sweep: %d cells (%d scheduler(s) x %d mu(s) x %d setup(s) x %d seed(s)), jobs=%d%s\n%!"
@@ -154,10 +160,17 @@ let no_cache =
   let doc = "Disable the on-disk result cache entirely." in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
+let state_dir =
+  let doc =
+    "State directory (docs/RUNNER.md): the result cache lives in $(docv)/cache.  \
+     Shared convention with $(b,hire_service), whose journal lives in \
+     $(docv)/journal."
+  in
+  Arg.(value & opt string "results" & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
 let cache_dir =
-  let doc = "Directory of the on-disk result cache." in
-  Arg.(value & opt string (Filename.concat "results" "cache")
-       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  let doc = "Override the cache directory (default: $(b,--state-dir)/cache)." in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
 let timeout =
   let doc =
@@ -282,7 +295,7 @@ let cmd =
   Cmd.v
     (Cmd.info "hire_sweep" ~version:"1.0" ~doc ~man)
     Term.(
-      const sweep $ jobs $ pool $ resume $ no_cache $ cache_dir $ timeout $ retries
+      const sweep $ jobs $ pool $ resume $ no_cache $ state_dir $ cache_dir $ timeout $ retries
       $ schedulers $ mus $ setups $ seeds $ k $ horizon $ util $ fraction $ faults_flag
       $ mtbf $ mttr $ max_retries $ solver_budget $ solver_steps $ guard $ no_incremental
       $ portfolio $ out $ quiet)

@@ -31,7 +31,13 @@ let default =
     portfolio = false;
   }
 
-let run spec =
+(* Build the whole world of a spec — cluster, workload, scheduler, fault
+   plan — and hand back the initialized (not yet executed) simulation.
+   The RNG split order (trace, scenario, cluster, fault) is part of a
+   spec's identity: journaled runs rebuild the world through this very
+   function during recovery (docs/JOURNAL.md), so the streams here must
+   stay byte-for-byte reproducible. *)
+let prepare ?config spec =
   let rng = Rng.create spec.seed in
   let trace_rng = Rng.split rng in
   let scenario_rng = Rng.split rng in
@@ -70,13 +76,133 @@ let run spec =
       spec.faults
   in
   let fault_policy = Option.map (fun (fs : Faults.spec) -> fs.policy) spec.faults in
-  let result =
-    Sim.Simulator.run ?faults:faults_plan ?fault_policy cluster sched
-      scenario.Sim.Scenario.arrivals
-  in
-  result.Sim.Simulator.report
+  Sim.Simulator.init ?config ?faults:faults_plan ?fault_policy cluster sched
+    scenario.Sim.Scenario.arrivals
+
+let run spec =
+  let sim = prepare spec in
+  while Sim.Simulator.step sim do
+    ()
+  done;
+  (Sim.Simulator.finish sim).Sim.Simulator.report
 
 let run_seeds spec seeds = List.map (fun seed -> run { spec with seed }) seeds
+
+(* ------------------------------------------------------------------ *)
+(* Spec serialization (journal WAL headers, docs/JOURNAL.md)           *)
+(* ------------------------------------------------------------------ *)
+
+module Enc = Prelude.Codec.Enc
+module Dec = Prelude.Codec.Dec
+
+(* Bump on any wire-format change; old journals then fail closed with a
+   version error instead of being misdecoded. *)
+let spec_blob_version = 1
+
+let enc_setup e = function
+  | Sim.Cluster.Homogeneous -> Enc.byte e 0
+  | Sim.Cluster.Heterogeneous -> Enc.byte e 1
+
+let dec_setup d =
+  match Dec.byte d with
+  | 0 -> Sim.Cluster.Homogeneous
+  | 1 -> Sim.Cluster.Heterogeneous
+  | b -> raise (Prelude.Codec.Error (Printf.sprintf "unknown inc_setup tag %d" b))
+
+let enc_faults e (fs : Faults.spec) =
+  Enc.f64 e fs.plan.Faults.Plan.server_mtbf;
+  Enc.f64 e fs.plan.server_mttr;
+  Enc.f64 e fs.plan.switch_mtbf;
+  Enc.f64 e fs.plan.switch_mttr;
+  Enc.f64 e fs.plan.inc_weight;
+  Enc.uint e fs.policy.Faults.Policy.max_retries;
+  Enc.f64 e fs.policy.backoff;
+  Enc.f64 e fs.policy.multiplier
+
+let dec_faults d : Faults.spec =
+  let server_mtbf = Dec.f64 d in
+  let server_mttr = Dec.f64 d in
+  let switch_mtbf = Dec.f64 d in
+  let switch_mttr = Dec.f64 d in
+  let inc_weight = Dec.f64 d in
+  let max_retries = Dec.uint d in
+  let backoff = Dec.f64 d in
+  let multiplier = Dec.f64 d in
+  {
+    plan = { Faults.Plan.server_mtbf; server_mttr; switch_mtbf; switch_mttr; inc_weight };
+    policy = { Faults.Policy.max_retries; backoff; multiplier };
+  }
+
+let enc_resilience e (r : Hire.Hire_scheduler.resilience) =
+  Enc.option e
+    (fun e (b : Flow.Budget.t) ->
+      Enc.option e Enc.f64 b.Flow.Budget.max_wall_s;
+      Enc.option e Enc.uint b.max_steps)
+    r.Hire.Hire_scheduler.budget;
+  Enc.int e r.guard_every
+
+let dec_resilience d : Hire.Hire_scheduler.resilience =
+  let budget =
+    Dec.option d (fun d ->
+        let max_wall_s = Dec.option d Dec.f64 in
+        let max_steps = Dec.option d Dec.uint in
+        { Flow.Budget.max_wall_s; max_steps })
+  in
+  let guard_every = Dec.int d in
+  { Hire.Hire_scheduler.budget; guard_every }
+
+let spec_to_blob spec =
+  let e = Enc.create () in
+  Enc.uint e spec_blob_version;
+  Enc.string e spec.scheduler;
+  Enc.f64 e spec.mu;
+  enc_setup e spec.setup;
+  Enc.uint e spec.k;
+  Enc.f64 e spec.horizon;
+  Enc.int e spec.seed;
+  Enc.f64 e spec.target_utilization;
+  Enc.option e Enc.f64 spec.inc_capable_fraction;
+  Enc.option e enc_faults spec.faults;
+  Enc.option e enc_resilience spec.resilience;
+  Enc.bool e spec.incremental;
+  Enc.bool e spec.portfolio;
+  Enc.to_string e
+
+let spec_of_blob blob =
+  let d = Dec.of_string blob in
+  let v = Dec.uint d in
+  if v <> spec_blob_version then
+    raise
+      (Prelude.Codec.Error
+         (Printf.sprintf "spec blob version %d, this build reads %d" v spec_blob_version));
+  let scheduler = Dec.string d in
+  let mu = Dec.f64 d in
+  let setup = dec_setup d in
+  let k = Dec.uint d in
+  let horizon = Dec.f64 d in
+  let seed = Dec.int d in
+  let target_utilization = Dec.f64 d in
+  let inc_capable_fraction = Dec.option d Dec.f64 in
+  let faults = Dec.option d dec_faults in
+  let resilience = Dec.option d dec_resilience in
+  let incremental = Dec.bool d in
+  let portfolio = Dec.bool d in
+  if not (Dec.at_end d) then
+    raise (Prelude.Codec.Error "trailing bytes after spec blob");
+  {
+    scheduler;
+    mu;
+    setup;
+    k;
+    horizon;
+    seed;
+    target_utilization;
+    inc_capable_fraction;
+    faults;
+    resilience;
+    incremental;
+    portfolio;
+  }
 
 let mean_over f reports = Prelude.Stats.mean (List.map f reports)
 

@@ -48,6 +48,26 @@ val default : spec
 (** Parameter sweep helper: [{ default with ... }] for each μ, seed, ... *)
 val run : spec -> Sim.Metrics.report
 
+(** Build the whole world of a spec — cluster, workload, scheduler, fault
+    plan — and hand back the initialized, not-yet-executed simulation.
+    [run] is exactly [prepare] + {!Sim.Simulator.step} to exhaustion +
+    {!Sim.Simulator.finish}.  The internal RNG split order is part of a
+    spec's identity: journaled runs rebuild their world through this
+    function during crash recovery (docs/JOURNAL.md), so equal specs
+    always produce byte-identical simulations. *)
+val prepare : ?config:Sim.Simulator.config -> spec -> Sim.Simulator.t
+
+(** Self-describing binary encoding of a spec, written as the WAL header
+    of journaled runs so recovery can rebuild the world without any
+    out-of-band state (docs/JOURNAL.md).  Round-trips exactly:
+    [spec_of_blob (spec_to_blob s) = s]. *)
+val spec_to_blob : spec -> string
+
+(** Inverse of {!spec_to_blob}.
+    @raise Prelude.Codec.Error on malformed, truncated, or
+    wrong-version blobs. *)
+val spec_of_blob : string -> spec
+
 (** [run_seeds spec seeds] runs one cell per seed. *)
 val run_seeds : spec -> int list -> Sim.Metrics.report list
 

@@ -199,23 +199,24 @@ let apply_flavor_picks t ~flavor_picks ~cancelled ~decisions =
     flavor_picks
 
 (* Record raw (tg_id, machine) placements against pending state and the
-   locality census; returns the applied (task_group, machine) pairs. *)
+   locality census; returns the applied (task_group, machine) pairs.
+   Requeue clones share the original's tg_id under a different job id,
+   so the scan runs oldest job first — a fixed submission order, not
+   hash-table order, which replayed restores would not reproduce
+   (docs/JOURNAL.md). *)
 let apply_placements t raw =
   List.filter_map
     (fun (tg_id, machine) ->
       let found =
-        Int_tbl.fold
-          (fun _ job acc ->
-            match acc with
-            | Some _ -> acc
-            | None -> (
-                match Pending.find_tg job tg_id with
-                | Some ts
-                  when Pending.status job ts = Flavor.Materialized
-                       && ts.Pending.remaining > 0 ->
-                    Some (job, ts)
-                | _ -> None))
-          t.jobs None
+        List.find_map
+          (fun job ->
+            match Pending.find_tg job tg_id with
+            | Some ts
+              when Pending.status job ts = Flavor.Materialized && ts.Pending.remaining > 0
+              ->
+                Some (job, ts)
+            | _ -> None)
+          (job_list t)
       in
       match found with
       | None -> None
@@ -227,20 +228,18 @@ let apply_placements t raw =
 
 (* Lenient resolution of raw placements for the guard's ledger
    cross-check: flavor picks have not been applied yet at guard time, so
-   group status is ignored — only groups with work left resolve. *)
+   group status is ignored — only groups with work left resolve.  Same
+   oldest-job-first scan as [apply_placements]. *)
 let resolve_for_guard t raw =
   List.filter_map
     (fun (tg_id, machine) ->
       let found =
-        Int_tbl.fold
-          (fun _ job acc ->
-            match acc with
-            | Some _ -> acc
-            | None -> (
-                match Pending.find_tg job tg_id with
-                | Some ts when ts.Pending.remaining > 0 -> Some ts
-                | _ -> None))
-          t.jobs None
+        List.find_map
+          (fun job ->
+            match Pending.find_tg job tg_id with
+            | Some ts when ts.Pending.remaining > 0 -> Some ts
+            | _ -> None)
+          (job_list t)
       in
       Option.map (fun ts -> (ts, machine)) found)
     raw
@@ -696,6 +695,43 @@ let run_round t ~time =
               Some { degraded; fallback_depth = depth; guard_trips = !trips; salvaged };
           }
   end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore (journal checkpoints, docs/JOURNAL.md)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The scheduling state proper is the pending queue (in submission
+   order), the lifetime solve counter (it phases the guard sampling) and
+   the locality census.  The flow-network builder and solver scratch are
+   caches: a restored scheduler starts them empty and the first round
+   rebuilds from scratch, which is bit-identical to the incremental
+   path.  The census is serialized rather than re-derived because it
+   mirrors tasks *running* in the cluster, which the pending queue no
+   longer knows about. *)
+let snapshot t =
+  let module Enc = Prelude.Codec.Enc in
+  let e = Enc.create () in
+  Enc.list e Persist.enc_job (job_list t);
+  Enc.uint e t.solves;
+  Locality.Task_census.encode_state t.census e;
+  Enc.to_string e
+
+let restore t blob =
+  let module Dec = Prelude.Codec.Dec in
+  let d = Dec.of_string blob in
+  let jobs = Dec.list d Persist.dec_job in
+  Int_tbl.reset t.jobs;
+  t.order <- [];
+  List.iter
+    (fun (job : Pending.job_state) ->
+      let id = job.Pending.poly.Poly_req.job_id in
+      Int_tbl.replace t.jobs id job;
+      t.order <- id :: t.order)
+    jobs;
+  t.solves <- Dec.uint d;
+  Locality.Task_census.decode_state t.census d;
+  if not (Dec.at_end d) then
+    raise (Prelude.Codec.Error "Hire_scheduler.restore: trailing bytes in snapshot")
 
 let on_task_complete t ~tg_id ~machine =
   Locality.Task_census.remove t.census ~tg_id ~machine

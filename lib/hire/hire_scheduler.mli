@@ -114,3 +114,15 @@ val drop_task_group : t -> tg_id:int -> unit
 
 (** The census (exposed for tests). *)
 val census : t -> Locality.Task_census.t
+
+(** Journal-checkpoint serialization (docs/JOURNAL.md): the pending
+    queue in submission order, the solve counter, and the locality
+    census — everything needed so a freshly created scheduler behaves
+    identically after [restore].  The flow-network builder and solver
+    scratch are caches and deliberately excluded; the first
+    post-restore round rebuilds them (bit-identical results either
+    way).  [restore] raises {!Prelude.Codec.Error} on malformed
+    blobs. *)
+val snapshot : t -> string
+
+val restore : t -> string -> unit

@@ -84,6 +84,44 @@ module Task_census = struct
       (machines t ~tg_id)
 
   let clear_group t ~tg_id = Int_tbl.remove t.groups tg_id
+
+  (* Checkpoint serialization (docs/JOURNAL.md).  Only the primary
+     (machine, count) pairs are written — the ToR/pod rollups and totals
+     are re-derived through [adjust] on restore, so a decoded census is
+     structurally identical to one built live.  Groups and machines are
+     written in sorted order for canonical bytes. *)
+  let encode_state t e =
+    let module Enc = Prelude.Codec.Enc in
+    let group_ids =
+      Int_tbl.fold (fun tg_id _ acc -> tg_id :: acc) t.groups [] |> List.sort Int.compare
+    in
+    Enc.list e
+      (fun e tg_id ->
+        Enc.int e tg_id;
+        Enc.list e
+          (fun e (m, c) ->
+            Enc.int e m;
+            Enc.uint e c)
+          (machines t ~tg_id))
+      group_ids
+
+  let decode_state t d =
+    let module Dec = Prelude.Codec.Dec in
+    Int_tbl.reset t.groups;
+    let (_ : unit list) =
+      Dec.list d (fun d ->
+          let tg_id = Dec.int d in
+          List.iter
+            (fun (machine, c) ->
+              for _ = 1 to c do
+                add t ~tg_id ~machine
+              done)
+            (Dec.list d (fun d ->
+                 let m = Dec.int d in
+                 let c = Dec.uint d in
+                 (m, c))))
+    in
+    ()
 end
 
 let upsilon topo census ~tg_ids ~node ~group_size =

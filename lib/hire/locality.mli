@@ -40,6 +40,14 @@ module Task_census : sig
   val switches : t -> tg_id:int -> int list
 
   val clear_group : t -> tg_id:int -> unit
+
+  (** Journal-checkpoint serialization (docs/JOURNAL.md): canonical
+      encoding of the (machine, count) pairs per group; restore rebuilds
+      the subtree rollups through {!add}, replacing the current
+      contents. *)
+  val encode_state : t -> Prelude.Codec.Enc.t -> unit
+
+  val decode_state : t -> Prelude.Codec.Dec.t -> unit
 end
 
 (** [upsilon topo census ~tg_ids ~node ~group_size] computes Υ for the

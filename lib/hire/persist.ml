@@ -1,0 +1,146 @@
+module Codec = Prelude.Codec
+module Enc = Codec.Enc
+module Dec = Codec.Dec
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Codec.Error s)) fmt
+
+(* ---- primitives ---- *)
+
+let enc_vec e (v : Prelude.Vec.t) = Enc.float_array e v
+let dec_vec d : Prelude.Vec.t = Dec.float_array d
+
+let enc_flavor e (f : Flavor.t) =
+  Enc.uint e (Array.length f);
+  Array.iter
+    (fun b -> Enc.byte e (match b with Flavor.Zero -> 0 | Flavor.One -> 1 | Flavor.X -> 2))
+    f
+
+let dec_flavor d : Flavor.t =
+  let n = Dec.uint d in
+  Array.init n (fun _ ->
+      match Dec.byte d with
+      | 0 -> Flavor.Zero
+      | 1 -> Flavor.One
+      | 2 -> Flavor.X
+      | b -> fail "bad flavor bit %d" b)
+
+let enc_shape e (s : Comp_store.shape) =
+  Enc.byte e
+    (match s with
+    | Comp_store.Single -> 0
+    | Single_tor -> 1
+    | Chain -> 2
+    | Tree -> 3
+    | Spine_leaf -> 4)
+
+let dec_shape d : Comp_store.shape =
+  match Dec.byte d with
+  | 0 -> Comp_store.Single
+  | 1 -> Single_tor
+  | 2 -> Chain
+  | 3 -> Tree
+  | 4 -> Spine_leaf
+  | b -> fail "bad shape tag %d" b
+
+let enc_priority e (p : Workload.Job.priority) =
+  Enc.byte e (match p with Workload.Job.Batch -> 0 | Service -> 1)
+
+let dec_priority d : Workload.Job.priority =
+  match Dec.byte d with
+  | 0 -> Workload.Job.Batch
+  | 1 -> Workload.Job.Service
+  | b -> fail "bad priority tag %d" b
+
+(* ---- task groups and PolyReqs ---- *)
+
+let enc_kind e (k : Poly_req.kind) =
+  match k with
+  | Poly_req.Server_tg -> Enc.byte e 0
+  | Poly_req.Network_tg n ->
+      Enc.byte e 1;
+      Enc.string e n.Poly_req.service;
+      enc_shape e n.shape;
+      enc_vec e n.per_switch;
+      Enc.string e n.role
+
+let dec_kind d : Poly_req.kind =
+  match Dec.byte d with
+  | 0 -> Poly_req.Server_tg
+  | 1 ->
+      let service = Dec.string d in
+      let shape = dec_shape d in
+      let per_switch = dec_vec d in
+      let role = Dec.string d in
+      Poly_req.Network_tg { Poly_req.service; shape; per_switch; role }
+  | b -> fail "bad task-group kind tag %d" b
+
+let enc_task_group e (tg : Poly_req.task_group) =
+  Enc.int e tg.Poly_req.tg_id;
+  Enc.int e tg.job_id;
+  Enc.string e tg.comp_id;
+  enc_kind e tg.kind;
+  Enc.uint e tg.count;
+  enc_vec e tg.demand;
+  Enc.f64 e tg.duration;
+  enc_flavor e tg.flavor;
+  Enc.list e Enc.int tg.connected
+
+let dec_task_group d : Poly_req.task_group =
+  let tg_id = Dec.int d in
+  let job_id = Dec.int d in
+  let comp_id = Dec.string d in
+  let kind = dec_kind d in
+  let count = Dec.uint d in
+  let demand = dec_vec d in
+  let duration = Dec.f64 d in
+  let flavor = dec_flavor d in
+  let connected = Dec.list d Dec.int in
+  { Poly_req.tg_id; job_id; comp_id; kind; count; demand; duration; flavor; connected }
+
+let enc_poly e (p : Poly_req.t) =
+  Enc.int e p.Poly_req.job_id;
+  enc_priority e p.priority;
+  Enc.f64 e p.arrival;
+  Enc.uint e p.flavor_len;
+  Enc.list e enc_task_group p.task_groups
+
+let dec_poly d : Poly_req.t =
+  let job_id = Dec.int d in
+  let priority = dec_priority d in
+  let arrival = Dec.f64 d in
+  let flavor_len = Dec.uint d in
+  let task_groups = Dec.list d dec_task_group in
+  { Poly_req.job_id; priority; arrival; flavor_len; task_groups }
+
+(* ---- pending jobs (scheduler queue state) ---- *)
+
+(* A job is its immutable PolyReq plus the mutable decision/placement
+   state layered on top; decode rebuilds via [Pending.of_poly] and
+   patches that state back in, so any derived structure stays
+   consistent with a freshly submitted job. *)
+let enc_job e (job : Pending.job_state) =
+  enc_poly e job.Pending.poly;
+  enc_flavor e job.x_hat;
+  Enc.bool e job.inc_flavor_locked;
+  Enc.array e
+    (fun e (ts : Pending.tg_state) ->
+      Enc.uint e ts.Pending.remaining;
+      Enc.list e Enc.int ts.placed_on)
+    job.tg_states
+
+let dec_job d : Pending.job_state =
+  let poly = dec_poly d in
+  let x_hat = dec_flavor d in
+  let inc_flavor_locked = Dec.bool d in
+  let job = Pending.of_poly poly in
+  job.Pending.x_hat <- x_hat;
+  job.inc_flavor_locked <- inc_flavor_locked;
+  let n = Dec.uint d in
+  if n <> Array.length job.tg_states then fail "job %d: %d task groups where %d expected"
+      poly.Poly_req.job_id n (Array.length job.tg_states);
+  Array.iter
+    (fun (ts : Pending.tg_state) ->
+      ts.Pending.remaining <- Dec.uint d;
+      ts.placed_on <- Dec.list d Dec.int)
+    job.tg_states;
+  job

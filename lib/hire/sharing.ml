@@ -131,3 +131,65 @@ let total_used t =
   acc
 
 let switch_ids t = t.ids
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore (journal checkpoints, docs/JOURNAL.md)           *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* The static capability set ([supported]) and capacity are reproduced
+   by rebuilding the cluster from its seed, so only the dynamic ledger
+   state is serialized.  Switches are walked in [ids] order — a fixed
+   array — and table contents in sorted-key order, so the same ledger
+   state always encodes to the same bytes. *)
+let encode_state t e =
+  let module Enc = Prelude.Codec.Enc in
+  Enc.array e
+    (fun e id ->
+      let st = state t id in
+      Enc.float_array e st.avail;
+      Enc.bool e st.alive;
+      Enc.list e
+        (fun e (s, c) ->
+          Enc.string e s;
+          Enc.uint e c)
+        (sorted_bindings st.counts);
+      Enc.list e
+        (fun e (s, v) ->
+          Enc.string e s;
+          Enc.float_array e v)
+        (sorted_bindings st.registered))
+    t.ids
+
+let decode_state t d =
+  let module Dec = Prelude.Codec.Dec in
+  let n = Dec.uint d in
+  if n <> Array.length t.ids then
+    raise
+      (Prelude.Codec.Error
+         (Printf.sprintf "Sharing: snapshot has %d switches, ledger has %d" n
+            (Array.length t.ids)));
+  Array.iter
+    (fun id ->
+      let st = state t id in
+      let avail = Dec.float_array d in
+      if Array.length avail <> Array.length st.avail then
+        raise (Prelude.Codec.Error "Sharing: snapshot dimension mismatch");
+      Array.blit avail 0 st.avail 0 (Array.length avail);
+      st.alive <- Dec.bool d;
+      Hashtbl.reset st.counts;
+      List.iter (fun (s, c) -> Hashtbl.replace st.counts s c)
+        (Dec.list d (fun d ->
+             let s = Dec.string d in
+             let c = Dec.uint d in
+             (s, c)));
+      Hashtbl.reset st.registered;
+      List.iter (fun (s, v) -> Hashtbl.replace st.registered s v)
+        (Dec.list d (fun d ->
+             let s = Dec.string d in
+             let v = Dec.float_array d in
+             (s, v))))
+    t.ids

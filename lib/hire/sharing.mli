@@ -78,3 +78,15 @@ val utilization : t -> int -> Vec.t
 val total_used : t -> Vec.t
 
 val switch_ids : t -> int array
+
+(** Journal-checkpoint serialization (docs/JOURNAL.md) of the {e
+    dynamic} ledger state only: availability vectors, liveness flags,
+    instance counts and per-switch registrations.  The static capability
+    set and capacity are reproduced by rebuilding the ledger from its
+    seed.  Encoding is canonical — the same state always yields the same
+    bytes.  [decode_state] restores in place and raises
+    {!Prelude.Codec.Error} when the snapshot does not match the ledger's
+    switch set or dimensionality. *)
+val encode_state : t -> Prelude.Codec.Enc.t -> unit
+
+val decode_state : t -> Prelude.Codec.Dec.t -> unit

@@ -1,0 +1,35 @@
+(* Seeded crash-point injector for the journal (the HIRE_CHAOS
+   discipline applied to durability): arm it with a record index and the
+   next append of that sequence number writes only a prefix of its frame
+   — a torn tail, exactly what a kill -9 mid-write leaves behind — and
+   raises [Crashed].  The QCheck crash-anywhere property and the CI
+   crash-recovery leg drive it programmatically / via HIRE_CRASH_AT. *)
+
+exception Crashed of int
+
+type armed = { crash_at : int; tear : int }
+
+let state : armed option ref = ref None
+
+let arm ~crash_at ?(tear = 5) () =
+  if crash_at < 0 || tear < 0 then invalid_arg "Journal.Chaos.arm";
+  state := Some { crash_at; tear }
+
+let disarm () = state := None
+let crash_at () = Option.map (fun a -> a.crash_at) !state
+
+(* HIRE_CRASH_AT="<seq>" or "<seq>:<tear-bytes>". *)
+let init_env () =
+  match Sys.getenv_opt "HIRE_CRASH_AT" with
+  | None -> ()
+  | Some spec -> (
+      let parts = String.split_on_char ':' (String.trim spec) in
+      match List.map int_of_string_opt parts with
+      | [ Some crash_at ] -> arm ~crash_at ()
+      | [ Some crash_at; Some tear ] -> arm ~crash_at ~tear ()
+      | _ -> invalid_arg (Printf.sprintf "HIRE_CRASH_AT: cannot parse %S" spec))
+
+let on_append ~seq ~len =
+  match !state with
+  | Some { crash_at; tear } when seq = crash_at -> Some (min tear len)
+  | _ -> None

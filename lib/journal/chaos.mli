@@ -1,0 +1,32 @@
+(** Seeded crash-point injector (the [HIRE_CHAOS] discipline applied to
+    durability).
+
+    Armed with a record sequence number, the {!Sink.append} of that
+    record writes only a prefix of its frame — the torn tail a [kill -9]
+    mid-write leaves — and raises {!Crashed}, abandoning the in-process
+    state exactly as a real crash would.  Recovery then has to truncate
+    the tear and re-land on the uninterrupted run's state byte for byte
+    (the QCheck property in [test/test_journal.ml]). *)
+
+(** Raised from {!Sink.append} when the armed crash point is hit;
+    carries the sequence number of the record whose append "died". *)
+exception Crashed of int
+
+(** [arm ~crash_at ~tear ()] schedules a crash at sequence [crash_at];
+    [tear] (default 5) is how many bytes of the crashing frame still
+    reach the file.  A tear at least the frame length models a crash
+    after the write but before the fsync. *)
+val arm : crash_at:int -> ?tear:int -> unit -> unit
+
+val disarm : unit -> unit
+
+(** Armed crash sequence, if any. *)
+val crash_at : unit -> int option
+
+(** Arm from [HIRE_CRASH_AT="<seq>"] or ["<seq>:<tear-bytes>"]; no-op
+    when unset.  @raise Invalid_argument on an unparseable value. *)
+val init_env : unit -> unit
+
+(** Consulted by {!Sink.append}: [Some keep] says write [keep] bytes of
+    this frame, then crash. *)
+val on_append : seq:int -> len:int -> int option

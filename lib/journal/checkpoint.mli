@@ -1,0 +1,34 @@
+(** Generation-numbered full-state snapshots.
+
+    A checkpoint is written to a temporary file and renamed into place
+    ([checkpoint-<gen>.bin]), so a reader only ever sees an absent or a
+    whole file.  [upto_seq] records how much of the WAL the snapshot
+    subsumes: recovery loads the newest valid checkpoint and replays
+    only the records from [upto_seq] on.  The protocol writes a
+    checkpoint only after the WAL records it covers are durable, so
+    [upto_seq <= Sink.next_seq] always holds on disk.
+
+    Checkpoints are recovery {e accelerators}, not a correctness
+    dependency: {!latest} skips any generation that does not load
+    cleanly (CRC-framed, so a torn file never passes) and recovery
+    falls back to an older generation or genesis replay.  [write]
+    therefore skips its fsyncs by default — losing an unsynced
+    checkpoint to a crash only lengthens the replay — and takes
+    [~fsync:true] for callers that want the file and its directory
+    entry forced to disk. *)
+
+type loaded = { gen : int; upto_seq : int; blob : string }
+
+(** Atomic write of generation [gen]. *)
+val write : ?fsync:bool -> dir:string -> gen:int -> upto_seq:int -> string -> unit
+
+(** Newest checkpoint that loads cleanly (magic, version, CRC); corrupt
+    or half-written generations are skipped in favour of older ones.
+    [None] when the directory holds no usable checkpoint. *)
+val latest : dir:string -> loaded option
+
+(** Keep the newest [keep] generations, delete the rest. *)
+val prune : dir:string -> keep:int -> unit
+
+(** Generations present on disk, newest first (validity not checked). *)
+val generations : dir:string -> int list

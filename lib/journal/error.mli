@@ -1,0 +1,34 @@
+(** Structured journal errors (docs/JOURNAL.md).
+
+    Every failure mode of opening, scanning, or replaying a journal is
+    one of these constructors — the journal never partially loads a
+    damaged file silently.  A {!Torn_tail} is special: it is the
+    expected signature of a crash mid-append, and recovery (alone) may
+    elect to truncate it away; every other error fails closed. *)
+
+type t =
+  | Missing of { path : string }
+  | Empty of { path : string }
+  | Bad_magic of { path : string }
+  | Bad_version of { path : string; version : int }
+  | Truncated_header of { path : string }
+      (** the fixed preamble or the spec header record is incomplete *)
+  | Torn_tail of { path : string; offset : int }
+      (** the final record frame is an incomplete prefix — a crash
+          mid-append; [offset] is the end of the last whole record *)
+  | Corrupt_record of { path : string; seq : int; offset : int; reason : string }
+      (** a complete frame whose checksum or structure is wrong —
+          corruption, not a crash artefact; never truncated away *)
+  | Duplicate_seq of { path : string; seq : int; offset : int }
+  | Divergence of { seq : int; detail : string }
+      (** deterministic replay re-derived a record that differs from the
+          stored bytes *)
+  | State of string  (** journal-directory misuse (see {!Sink}/{!Service}) *)
+
+exception Journal_error of t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Raise as {!Journal_error}. *)
+val raise_ : t -> 'a

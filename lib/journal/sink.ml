@@ -1,0 +1,113 @@
+module Clock = Prelude.Clock
+
+let magic = "HIREWAL1"
+let version = 1
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  (* Framed records accumulate here and hit the fd in one write per
+     group-commit sync; an injected crash ({!Chaos}) flushes the whole
+     frames first so the tear lands exactly where a real kill would
+     leave it. *)
+  buf : Buffer.t;
+  (* Group-commit window: a {!commit} inside the window defers the
+     fsync to a later commit (or {!barrier}/{!close}) so one device
+     sync covers every round that landed in the window.  [0.0] fsyncs
+     at every commit. *)
+  fsync_interval_s : float;
+  mutable last_sync : float;
+  mutable deferred : bool;  (* committed records awaiting their fsync *)
+  mutable next_seq : int;
+  mutable closed : bool;
+}
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go pos =
+    if pos < len then go (pos + Unix.write_substring fd s pos (len - pos))
+  in
+  go 0
+
+let preamble header =
+  let buf = Buffer.create (String.length header + 32) in
+  Buffer.add_string buf magic;
+  Frame.put_u32 buf version;
+  Buffer.add_string buf (Frame.encode_payload header);
+  Buffer.contents buf
+
+let create ?(fsync_interval_s = 0.0) ~path ~header () =
+  if Sys.file_exists path then
+    Error.raise_ (Error.State (Printf.sprintf "%s already exists (use recovery)" path));
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 in
+  write_all fd (preamble header);
+  { fd; path; buf = Buffer.create 8192; fsync_interval_s;
+    last_sync = Clock.now (); deferred = false; next_seq = 0; closed = false }
+
+(* Reopen after recovery: [valid_end] is the end of the last whole
+   record {!Source} scanned; anything past it (the torn tail) is cut
+   before appends resume. *)
+let open_append ?(fsync_interval_s = 0.0) ~path ~valid_end ~next_seq () =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd valid_end;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  { fd; path; buf = Buffer.create 8192; fsync_interval_s;
+    last_sync = Clock.now (); deferred = false; next_seq; closed = false }
+
+let next_seq t = t.next_seq
+
+let flush t =
+  if Buffer.length t.buf > 0 then begin
+    write_all t.fd (Buffer.contents t.buf);
+    Buffer.clear t.buf
+  end
+
+let sync t =
+  flush t;
+  if Obs.enabled () then begin
+    let t0 = Clock.now () in
+    Unix.fsync t.fd;
+    Obs.Histogram.observe (Obs.Registry.histogram "journal.fsync_s") (Clock.now () -. t0)
+  end
+  else Unix.fsync t.fd;
+  t.deferred <- false;
+  t.last_sync <- Clock.now ()
+
+let append t body =
+  if t.closed then Error.raise_ (Error.State "append to a closed sink");
+  let seq = t.next_seq in
+  let frame = Frame.encode_record ~seq body in
+  (match Chaos.on_append ~seq ~len:(String.length frame) with
+  | None -> Buffer.add_string t.buf frame
+  | Some keep ->
+      (* Injected crash: land every whole frame buffered so far (a real
+         kill loses nothing that reached the page cache), then leave
+         the torn prefix and abandon the process state right here. *)
+      flush t;
+      write_all t.fd (String.sub frame 0 keep);
+      t.closed <- true;
+      raise (Chaos.Crashed seq));
+  t.next_seq <- seq + 1;
+  if Obs.enabled () then begin
+    Obs.Registry.incr (Obs.Registry.counter "journal.appends");
+    Obs.Registry.incr ~by:(String.length frame) (Obs.Registry.counter "journal.bytes")
+  end;
+  seq
+
+let commit t =
+  if t.closed then Error.raise_ (Error.State "commit on a closed sink");
+  t.deferred <- true;
+  if t.fsync_interval_s <= 0.0 || Clock.now () -. t.last_sync >= t.fsync_interval_s then
+    sync t;
+  if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter "journal.commits")
+
+let barrier t =
+  if t.closed then Error.raise_ (Error.State "barrier on a closed sink");
+  if t.deferred || Buffer.length t.buf > 0 then sync t
+
+let close t =
+  if not t.closed then begin
+    if t.deferred || Buffer.length t.buf > 0 then sync t;
+    t.closed <- true;
+    Unix.close t.fd
+  end

@@ -1,0 +1,62 @@
+(** Append side of the write-ahead journal.
+
+    File layout: an 8-byte magic, a little-endian u32 format version,
+    one framed header payload (the opaque experiment spec the recovery
+    side rebuilds the world from), then framed records whose payloads
+    carry their own sequence number — see {!Frame}.
+
+    Appends are buffered; {!commit} marks a durability point.  With
+    [fsync_interval_s = 0.0] (the default) every commit writes the
+    buffered frames and fsyncs before returning.  A positive interval
+    enables {e group commit}: a commit inside the window defers the
+    fsync so that one device sync covers every round-commit that landed
+    in the window — on crash, at most the last window of committed
+    records is lost, and deterministic replay re-derives them (see
+    docs/JOURNAL.md).  {!barrier} forces the deferred sync, and is
+    called by {!Sim.Service} before a checkpoint so a checkpoint's
+    [upto_seq] only ever covers durable records.  An injected crash
+    ({!Chaos}) flushes whole buffered frames before writing the torn
+    prefix, so the tear lands exactly where a real kill would leave
+    it. *)
+
+type t
+
+val magic : string
+val version : int
+
+(** [create ~path ~header ()] starts a fresh journal.  Raises
+    {!Error.Journal_error} [State] if [path] already exists — an
+    existing journal must be recovered, never silently overwritten.
+    [fsync_interval_s] is the group-commit window (default [0.0]:
+    strict fsync-per-commit). *)
+val create : ?fsync_interval_s:float -> path:string -> header:string -> unit -> t
+
+(** [open_append ~path ~valid_end ~next_seq ()] reopens a scanned
+    journal for appending: the file is truncated to [valid_end]
+    (cutting a torn tail) and subsequent records continue at
+    [next_seq]. *)
+val open_append :
+  ?fsync_interval_s:float -> path:string -> valid_end:int -> next_seq:int -> unit -> t
+
+(** [append t body] frames and buffers one record, returning its
+    sequence number.  Not yet durable — call {!commit}.  Raises
+    {!Chaos.Crashed} at an armed crash point. *)
+val append : t -> string -> int
+
+(** Durability point: fsync now, or — inside a group-commit window —
+    defer the fsync to a commit after the window closes (or to
+    {!barrier}/{!close}, whichever comes first). *)
+val commit : t -> unit
+
+(** Make every appended record durable before returning: flushes the
+    buffer and fsyncs if anything is deferred.  A no-op when the last
+    commit already synced. *)
+val barrier : t -> unit
+
+val next_seq : t -> int
+val close : t -> unit
+
+(**/**)
+
+(** Shared with {!Checkpoint}. *)
+val write_all : Unix.file_descr -> string -> unit

@@ -108,6 +108,44 @@ let ccdf_points ~points t =
         let f = float_of_int i /. float_of_int points in
         (quantile t f, 1.0 -. f))
 
+type raw = {
+  r_lo : float;
+  r_log_gamma : float;
+  r_counts : int array;
+  r_underflow : int;
+  r_overflow : int;
+  r_count : int;
+  r_sum : float;
+  r_vmin : float;
+  r_vmax : float;
+}
+
+let to_raw t =
+  {
+    r_lo = t.lo;
+    r_log_gamma = t.log_gamma;
+    r_counts = Array.copy t.counts;
+    r_underflow = t.underflow;
+    r_overflow = t.overflow;
+    r_count = t.count;
+    r_sum = t.sum;
+    r_vmin = t.vmin;
+    r_vmax = t.vmax;
+  }
+
+let of_raw r =
+  {
+    lo = r.r_lo;
+    log_gamma = r.r_log_gamma;
+    counts = Array.copy r.r_counts;
+    underflow = r.r_underflow;
+    overflow = r.r_overflow;
+    count = r.r_count;
+    sum = r.r_sum;
+    vmin = r.r_vmin;
+    vmax = r.r_vmax;
+  }
+
 let clear t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.underflow <- 0;

@@ -63,6 +63,25 @@ val cdf_points : points:int -> t -> (float * float) list
     [(value, fraction-above)] pairs; [[]] when empty. *)
 val ccdf_points : points:int -> t -> (float * float) list
 
+(** Complete internal state, exposed for external serialization (the
+    journal checkpoints histograms through this).  [of_raw (to_raw t)]
+    is bit-identical to [t] — quantiles, means, and printed summaries
+    all reproduce exactly. *)
+type raw = {
+  r_lo : float;
+  r_log_gamma : float;
+  r_counts : int array;
+  r_underflow : int;
+  r_overflow : int;
+  r_count : int;
+  r_sum : float;
+  r_vmin : float;
+  r_vmax : float;
+}
+
+val to_raw : t -> raw
+val of_raw : raw -> t
+
 (** Drop all samples, keeping the layout. *)
 val clear : t -> unit
 

@@ -1,0 +1,26 @@
+(* Table-driven IEEE CRC-32 (polynomial 0xEDB88320, the zlib/Ethernet
+   one).  Pure OCaml: the journal cannot take a zlib dependency, and the
+   63-bit native int comfortably holds the 32-bit registers. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask = 0xFFFFFFFF
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: bad substring";
+  let table = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor mask land mask
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)

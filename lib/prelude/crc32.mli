@@ -1,0 +1,13 @@
+(** IEEE CRC-32 (the zlib polynomial), table-driven, pure OCaml.
+
+    Used by the write-ahead journal (lib/journal) to checksum record
+    frames and checkpoint blobs; 32-bit values are carried in native
+    ints (always non-negative). *)
+
+(** [string s] is the CRC-32 of the whole string. *)
+val string : string -> int
+
+(** [update crc s ~pos ~len] extends a running checksum ([0] for an
+    empty prefix) over a substring.
+    @raise Invalid_argument on an out-of-bounds substring. *)
+val update : int -> string -> pos:int -> len:int -> int

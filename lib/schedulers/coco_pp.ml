@@ -126,4 +126,6 @@ let create cluster =
     (* The flow network is rebuilt from the live view every round. *)
     on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
     drop_task_group = (fun ~time:_ ~tg_id -> Modes.drop_tg modes ~tg_id);
+    (* Cheap per-round decisions: recovery replays from genesis. *)
+    persist = None;
   }

@@ -72,4 +72,10 @@ let create ?(simple_flavor = false) ?(params = Hire.Cost_model.default_params)
     on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
     drop_task_group =
       (fun ~time:_ ~tg_id -> Hire_scheduler.drop_task_group sched ~tg_id);
+    persist =
+      Some
+        {
+          Sim.Scheduler_intf.snapshot = (fun () -> Hire_scheduler.snapshot sched);
+          restore = Hire_scheduler.restore sched;
+        };
   }

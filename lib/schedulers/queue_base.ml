@@ -70,4 +70,6 @@ let make ~name ~think_per_alloc ?(max_allocs_per_round = 200) ?(order_jobs = fun
        every pick. *)
     on_node_event = (fun ~time:_ ~node:_ ~up:_ -> ());
     drop_task_group = (fun ~time:_ ~tg_id -> Modes.drop_tg modes ~tg_id);
+    (* Cheap per-round decisions: recovery replays from genesis. *)
+    persist = None;
   }

@@ -174,4 +174,6 @@ let create ~mode ~seed cluster =
     (* Stubs for a dropped group drain lazily: the late-binding pass
        discards reservations whose [remaining] hit zero. *)
     drop_task_group = (fun ~time:_ ~tg_id -> Modes.drop_tg modes ~tg_id);
+    (* Cheap per-round decisions: recovery replays from genesis. *)
+    persist = None;
   }

@@ -187,6 +187,64 @@ let release_network_task t ~switch ~tg ~shared =
   Sharing.release t.sharing ~switch ~service ~per_instance;
   Hire.Dirty.mark_switch t.dirty switch
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore (journal checkpoints, docs/JOURNAL.md)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Topology, capacities and the INC capability map are reproduced by
+   rebuilding the cluster from its seed; the snapshot carries only the
+   dynamic ledgers: server availability (in [Fat_tree.servers] order),
+   the dead set (sorted), and the switch-sharing state. *)
+let snapshot t =
+  let module Enc = Prelude.Codec.Enc in
+  let e = Enc.create () in
+  Enc.array e
+    (fun e s -> Enc.float_array e (Hashtbl.find t.server_avail s))
+    (Fat_tree.servers t.topo);
+  let dead =
+    Hashtbl.fold (fun n tm acc -> (n, tm) :: acc) t.dead []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Enc.list e
+    (fun e (n, tm) ->
+      Enc.int e n;
+      Enc.f64 e tm)
+    dead;
+  Sharing.encode_state t.sharing e;
+  Enc.to_string e
+
+let restore t blob =
+  let module Dec = Prelude.Codec.Dec in
+  let d = Dec.of_string blob in
+  let servers = Fat_tree.servers t.topo in
+  let n = Dec.uint d in
+  if n <> Array.length servers then
+    raise
+      (Prelude.Codec.Error
+         (Printf.sprintf "Cluster.restore: snapshot has %d servers, cluster has %d" n
+            (Array.length servers)));
+  Array.iter
+    (fun s ->
+      let avail = Dec.float_array d in
+      let dst = Hashtbl.find t.server_avail s in
+      if Array.length avail <> Array.length dst then
+        raise (Prelude.Codec.Error "Cluster.restore: server dimension mismatch");
+      Array.blit avail 0 dst 0 (Array.length avail))
+    servers;
+  Hashtbl.reset t.dead;
+  List.iter
+    (fun (node, tm) -> Hashtbl.replace t.dead node tm)
+    (Dec.list d (fun d ->
+         let node = Dec.int d in
+         let tm = Dec.f64 d in
+         (node, tm)));
+  Sharing.decode_state t.sharing d;
+  if not (Dec.at_end d) then
+    raise (Prelude.Codec.Error "Cluster.restore: trailing bytes in snapshot");
+  (* Everything may have moved: force the next network build to start
+     from a clean rebuild rather than an incremental patch. *)
+  Hire.Dirty.mark_structural t.dirty
+
 let server_utilization_avg t =
   let acc = Vec.zero (Vec.dim t.server_cap) in
   let n = ref 0 in

@@ -107,3 +107,15 @@ val switch_used_total : t -> Vec.t
 
 (** Total switch capacity per dimension (all switches). *)
 val switch_capacity_total : t -> Vec.t
+
+(** Journal-checkpoint serialization (docs/JOURNAL.md) of the dynamic
+    state only: server ledgers, dead set, switch-sharing ledgers.  The
+    static parts (topology, capacities, INC capability map) must come
+    from rebuilding the cluster with the same seed; [restore] then
+    overlays the snapshot in place and marks the dirty set structural so
+    the next flow-network build starts clean.  Raises
+    {!Prelude.Codec.Error} when the snapshot does not match the
+    cluster's shape. *)
+val snapshot : t -> string
+
+val restore : t -> string -> unit

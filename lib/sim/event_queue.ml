@@ -25,3 +25,29 @@ let pop q =
 let peek_time q = if Heap.is_empty q.heap then None else Some (Heap.peek q.heap).time
 let is_empty q = Heap.is_empty q.heap
 let size q = Heap.size q.heap
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore (journal checkpoints, docs/JOURNAL.md)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The insertion sequence numbers ARE the tie-break order, so they must
+   survive a checkpoint exactly: entries are exported with their seq and
+   re-pushed raw, and [next_seq] carries over so events pushed after a
+   restore sort exactly as they would have in the uninterrupted run. *)
+let entries q =
+  Heap.to_list q.heap
+  |> List.map (fun e -> (e.time, e.seq, e.payload))
+  |> List.sort (fun (_, a, _) (_, b, _) -> Int.compare a b)
+
+let next_seq q = q.next_seq
+
+let restore q ~next_seq entries =
+  Heap.clear q.heap;
+  List.iter
+    (fun (time, seq, payload) ->
+      if not (Float.is_finite time) then invalid_arg "Event_queue.restore: non-finite time";
+      if seq < 0 || seq >= next_seq then
+        invalid_arg "Event_queue.restore: sequence number out of range";
+      Heap.push q.heap { time; seq; payload })
+    entries;
+  q.next_seq <- next_seq

@@ -249,13 +249,20 @@ type report = {
   salvaged_tasks : int;
 }
 
+(* Bindings of an int-keyed table in key order: [report] and [snapshot]
+   must not depend on hash-bucket iteration order, which a
+   checkpoint-restored table does not reproduce (docs/JOURNAL.md). *)
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let report t =
   let jobs_total = Hashtbl.length t.jobs in
   let inc_jobs_total = ref 0 and inc_jobs_served = ref 0 in
   let detour_sum = ref 0.0 and detour_n = ref 0 in
   let span_sum = ref 0.0 in
-  Hashtbl.iter
-    (fun _ ji ->
+  List.iter
+    (fun (_, ji) ->
       if ji.has_inc then begin
         incr inc_jobs_total;
         (* Served with INC iff at least one network group ran fully and
@@ -287,7 +294,7 @@ let report t =
         span_sum := !span_sum +. float_of_int (3 - Fat_tree.cover_depth t.topo (servers @ switches));
         incr detour_n
       end)
-    t.jobs;
+    (sorted_bindings t.jobs);
   let inc_tgs_total = ref 0 and inc_tgs_unserved = ref 0 in
   let tgs_total = ref 0 and tgs_satisfied = ref 0 and tgs_cancelled = ref 0 in
   (* Composites with several INC alternatives run exactly one of them: a
@@ -299,8 +306,8 @@ let report t =
       if ti.is_network && ti.satisfied_at <> None then
         Hashtbl.replace comp_inc_served (ti.ti_job, ti.ti_comp) ())
     t.tgs;
-  Hashtbl.iter
-    (fun _ ti ->
+  List.iter
+    (fun (_, ti) ->
       incr tgs_total;
       if ti.satisfied_at <> None then incr tgs_satisfied;
       if ti.cancelled then incr tgs_cancelled;
@@ -312,7 +319,7 @@ let report t =
           incr inc_tgs_unserved
         end
       end)
-    t.tgs;
+    (sorted_bindings t.tgs);
   let total_time = Float.max 1e-9 t.last_time in
   let cap =
     Vec.scale
@@ -354,6 +361,165 @@ let report t =
     guard_trips = t.guard_trips;
     salvaged_tasks = t.salvaged_tasks;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / restore (journal checkpoints, docs/JOURNAL.md)           *)
+(* ------------------------------------------------------------------ *)
+
+module Enc = Prelude.Codec.Enc
+module Dec = Prelude.Codec.Dec
+
+let enc_hist e h =
+  let r = Obs.Histogram.to_raw h in
+  Enc.f64 e r.Obs.Histogram.r_lo;
+  Enc.f64 e r.r_log_gamma;
+  Enc.array e Enc.uint r.r_counts;
+  Enc.uint e r.r_underflow;
+  Enc.uint e r.r_overflow;
+  Enc.uint e r.r_count;
+  Enc.f64 e r.r_sum;
+  Enc.f64 e r.r_vmin;
+  Enc.f64 e r.r_vmax
+
+(* Histograms live in immutable fields, so restore rebuilds the decoded
+   one and folds it into the cleared live instance — [merge_into] on an
+   empty histogram is an exact copy. *)
+let dec_hist_into d h =
+  let r_lo = Dec.f64 d in
+  let r_log_gamma = Dec.f64 d in
+  let r_counts = Dec.array d Dec.uint in
+  let r_underflow = Dec.uint d in
+  let r_overflow = Dec.uint d in
+  let r_count = Dec.uint d in
+  let r_sum = Dec.f64 d in
+  let r_vmin = Dec.f64 d in
+  let r_vmax = Dec.f64 d in
+  let decoded =
+    Obs.Histogram.of_raw
+      {
+        Obs.Histogram.r_lo;
+        r_log_gamma;
+        r_counts;
+        r_underflow;
+        r_overflow;
+        r_count;
+        r_sum;
+        r_vmin;
+        r_vmax;
+      }
+  in
+  Obs.Histogram.clear h;
+  try Obs.Histogram.merge_into h decoded
+  with Invalid_argument msg -> raise (Prelude.Codec.Error ("Metrics.restore: " ^ msg))
+
+let snapshot t =
+  let e = Enc.create () in
+  Enc.list e
+    (fun e (id, ti) ->
+      Enc.int e id;
+      Enc.int e ti.ti_job;
+      Enc.string e ti.ti_comp;
+      Enc.bool e ti.is_network;
+      Enc.uint e ti.expected;
+      Enc.f64 e ti.arrival;
+      Enc.uint e ti.placed;
+      Enc.bool e ti.cancelled;
+      Enc.option e Enc.f64 ti.satisfied_at;
+      Enc.bool e ti.ever_satisfied;
+      Enc.option e Enc.f64 ti.requeued_at)
+    (sorted_bindings t.tgs);
+  Enc.list e
+    (fun e (id, ji) ->
+      Enc.int e id;
+      Enc.list e Enc.int ji.servers_used;
+      Enc.list e Enc.int ji.switches_used;
+      Enc.bool e ji.has_inc;
+      Enc.list e Enc.int ji.network_tg_ids)
+    (sorted_bindings t.jobs);
+  enc_hist e t.latency_h;
+  enc_hist e t.solver_h;
+  enc_hist e t.reschedule_h;
+  enc_hist e t.downtime_h;
+  Enc.float_array e t.sw_used;
+  Enc.float_array e t.sw_integral;
+  Enc.f64 e t.last_time;
+  Enc.option e Enc.f64 t.finalized_at;
+  Enc.uint e t.rounds;
+  Enc.f64 e t.think_total;
+  Enc.uint e t.node_fails;
+  Enc.uint e t.node_recoveries;
+  Enc.uint e t.tasks_killed;
+  Enc.uint e t.requeues;
+  Enc.uint e t.fault_cancels;
+  Enc.uint e t.degraded_rounds;
+  Enc.uint e t.fallback_rounds;
+  Enc.uint e t.fallback_depth_max;
+  Enc.uint e t.guard_trips;
+  Enc.uint e t.salvaged_tasks;
+  Enc.to_string e
+
+let restore t blob =
+  let d = Dec.of_string blob in
+  Hashtbl.reset t.tgs;
+  List.iter
+    (fun (id, ti) -> Hashtbl.replace t.tgs id ti)
+    (Dec.list d (fun d ->
+         let id = Dec.int d in
+         let ti_job = Dec.int d in
+         let ti_comp = Dec.string d in
+         let is_network = Dec.bool d in
+         let expected = Dec.uint d in
+         let arrival = Dec.f64 d in
+         let placed = Dec.uint d in
+         let cancelled = Dec.bool d in
+         let satisfied_at = Dec.option d Dec.f64 in
+         let ever_satisfied = Dec.bool d in
+         let requeued_at = Dec.option d Dec.f64 in
+         ( id,
+           {
+             ti_job;
+             ti_comp;
+             is_network;
+             expected;
+             arrival;
+             placed;
+             cancelled;
+             satisfied_at;
+             ever_satisfied;
+             requeued_at;
+           } )));
+  Hashtbl.reset t.jobs;
+  List.iter
+    (fun (id, ji) -> Hashtbl.replace t.jobs id ji)
+    (Dec.list d (fun d ->
+         let id = Dec.int d in
+         let servers_used = Dec.list d Dec.int in
+         let switches_used = Dec.list d Dec.int in
+         let has_inc = Dec.bool d in
+         let network_tg_ids = Dec.list d Dec.int in
+         (id, { servers_used; switches_used; has_inc; network_tg_ids })));
+  dec_hist_into d t.latency_h;
+  dec_hist_into d t.solver_h;
+  dec_hist_into d t.reschedule_h;
+  dec_hist_into d t.downtime_h;
+  t.sw_used <- Dec.float_array d;
+  t.sw_integral <- Dec.float_array d;
+  t.last_time <- Dec.f64 d;
+  t.finalized_at <- Dec.option d Dec.f64;
+  t.rounds <- Dec.uint d;
+  t.think_total <- Dec.f64 d;
+  t.node_fails <- Dec.uint d;
+  t.node_recoveries <- Dec.uint d;
+  t.tasks_killed <- Dec.uint d;
+  t.requeues <- Dec.uint d;
+  t.fault_cancels <- Dec.uint d;
+  t.degraded_rounds <- Dec.uint d;
+  t.fallback_rounds <- Dec.uint d;
+  t.fallback_depth_max <- Dec.uint d;
+  t.guard_trips <- Dec.uint d;
+  t.salvaged_tasks <- Dec.uint d;
+  if not (Dec.at_end d) then
+    raise (Prelude.Codec.Error "Metrics.restore: trailing bytes in snapshot")
 
 let inc_satisfaction_ratio r =
   if r.inc_jobs_total = 0 then 1.0

@@ -107,3 +107,14 @@ val report : t -> report
 val inc_satisfaction_ratio : report -> float
 val inc_tg_unserved_ratio : report -> float
 val pp_report : Format.formatter -> report -> unit
+
+(** Journal-checkpoint serialization (docs/JOURNAL.md): all accumulated
+    state — per-group and per-job records, the four histograms
+    (bit-exact through {!Obs.Histogram.to_raw}), the switch-load
+    integral, and every counter — so a restored collector produces the
+    same [report] as the uninterrupted run.  [restore] replaces the
+    collector's contents in place and raises {!Prelude.Codec.Error} on
+    malformed blobs. *)
+val snapshot : t -> string
+
+val restore : t -> string -> unit

@@ -1,0 +1,45 @@
+(* Deterministic re-execution replay: see docs/JOURNAL.md.  The
+   simulator is a deterministic function of its spec, so recovery does
+   not interpret WAL records to mutate state — it re-runs the simulation
+   and checks, byte for byte, that every re-derived record matches the
+   stored log.  Any mismatch means the world being replayed is not the
+   world that wrote the journal (code drift, wrong spec, corrupted
+   state) and recovery fails closed with [Divergence]. *)
+
+let divergence ~seq detail =
+  Journal.Error.raise_ (Journal.Error.Divergence { seq; detail })
+
+let describe body =
+  match Wal.decode body with
+  | r -> Format.asprintf "%a" Wal.pp r
+  | exception Prelude.Codec.Error _ -> "<undecodable record>"
+
+let replay sim ~records ~from_ ~live =
+  let n = Array.length records in
+  let cursor = ref from_ in
+  if from_ < 0 || from_ > n then
+    invalid_arg "Recovery.replay: replay start out of range";
+  let emit r =
+    if !cursor < n then begin
+      let body = Wal.encode r in
+      if not (String.equal body records.(!cursor)) then
+        divergence ~seq:!cursor
+          (Printf.sprintf "replay derived [%s] where the journal holds [%s]"
+             (Format.asprintf "%a" Wal.pp r)
+             (describe records.(!cursor)));
+      incr cursor
+    end
+    else
+      (* The step that consumed the last journaled record may keep
+         emitting: those records are new history, appended live. *)
+      live r
+  in
+  while !cursor < n && Simulator.step ~emit sim do
+    ()
+  done;
+  if !cursor < n then
+    divergence ~seq:!cursor
+      (Printf.sprintf
+         "journal holds %d records past the end of the replayed simulation (next: [%s])"
+         (n - !cursor) (describe records.(!cursor)));
+  !cursor - from_

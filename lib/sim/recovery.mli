@@ -1,0 +1,26 @@
+(** Crash recovery by deterministic re-execution (docs/JOURNAL.md).
+
+    The simulator is deterministic given its spec, so recovery rebuilds
+    a fresh world from the journaled spec, optionally overlays the
+    newest checkpoint, and then {e re-runs} the simulation — validating
+    every re-derived {!Wal} record byte-for-byte against the stored log
+    instead of interpreting the log to mutate state.  When the log is
+    exhausted the simulation stands exactly where the crashed run did,
+    and keeps executing live. *)
+
+(** [replay sim ~records ~from_ ~live] steps [sim] until the records
+    from index [from_] to the end have all been re-derived and matched.
+    A step that emits past the last stored record hands those records to
+    [live] (they are new history, to be appended to the journal).
+    Returns the number of records validated.
+
+    @raise Journal.Error.Journal_error [Divergence] when a re-derived
+    record differs from the stored bytes, or the log holds records the
+    simulation never produces.
+    @raise Invalid_argument when [from_] is outside [\[0, length\]]. *)
+val replay :
+  Simulator.t ->
+  records:string array ->
+  from_:int ->
+  live:(Wal.record -> unit) ->
+  int

@@ -34,6 +34,16 @@ type round_result = {
       (** [None] unless the scheduler runs a resilience policy *)
 }
 
+(** Optional checkpoint capability (docs/JOURNAL.md).  A scheduler that
+    can serialize its internal decision state offers it here so journal
+    checkpoints capture mid-run state; schedulers without it (the
+    queue-based baselines, whose per-round decisions are cheap to replay
+    from the WAL alone) recover by genesis replay instead.  [restore]
+    must leave a freshly created scheduler observably identical to the
+    snapshotted one and raises {!Prelude.Codec.Error} on malformed
+    blobs. *)
+type persist = { snapshot : unit -> string; restore : string -> unit }
+
 type t = {
   name : string;
   submit : time:float -> Hire.Poly_req.t -> unit;
@@ -53,4 +63,6 @@ type t = {
           budget exhausted); the scheduler must drop the group's
           still-pending instances so no further placements are attempted
           for it. *)
+  persist : persist option;
+      (** checkpoint capability; [None] = recover by genesis replay *)
 }

@@ -1,0 +1,65 @@
+(** Journaled scheduler service (docs/JOURNAL.md): the simulator event
+    loop with a write-ahead log underneath.
+
+    Protocol, per event: the {!Wal} records the event gives rise to are
+    appended (buffered, not yet durable) {e before} their effects
+    become externally visible; every {!Wal.Commit} — one per scheduling
+    round — is a durability point, group-committed within a bounded
+    window ([fsync_interval_s], default 20ms; [0.0] restores strict
+    fsync-per-round — see {!Journal.Sink}); and every
+    [checkpoint_every]-th round a full {!Simulator.snapshot} is written
+    as a generation-numbered checkpoint behind a {!Journal.Sink.barrier},
+    so a checkpoint never subsumes records that could still be lost.
+
+    Recovery ({!recover}) rebuilds a fresh world from the spec blob
+    stored in the WAL header, overlays the newest usable checkpoint
+    (when the scheduler offers {!Scheduler_intf.persist}), truncates a
+    torn tail, replays the remaining records by deterministic
+    re-execution ({!Recovery.replay}), cross-checks the landed ledgers
+    against the running-task registry, and returns a service ready to
+    continue — the continuation is byte-identical to the uninterrupted
+    run. *)
+
+type t
+
+val sim : t -> Simulator.t
+
+(** [start ~dir ~checkpoint_every ~header sim] begins journaling a fresh
+    simulation into [dir] (created if missing).  [header] is the opaque
+    spec blob recovery hands back to [rebuild]; [checkpoint_every] <= 0
+    (the default) disables checkpoints.
+    @raise Journal.Error.Journal_error [State] if [dir] already holds a
+    journal. *)
+val start :
+  dir:string ->
+  ?checkpoint_every:int ->
+  ?fsync_interval_s:float ->
+  header:string ->
+  Simulator.t ->
+  t
+
+type recovered = {
+  service : t;
+  replayed : int;  (** WAL records validated by re-execution *)
+  from_checkpoint : int option;
+      (** sequence the overlaid checkpoint subsumed, when one was used *)
+}
+
+(** [recover ~dir ~rebuild ()] resumes a crashed journaled run.
+    [rebuild] must reconstruct the {e same} simulation from the spec
+    blob that [start] wrote (same seeds, same config) — recovery
+    validates rather than trusts it, and fails closed with [Divergence]
+    on any mismatch. *)
+val recover :
+  dir:string ->
+  ?checkpoint_every:int ->
+  ?fsync_interval_s:float ->
+  rebuild:(string -> Simulator.t) ->
+  unit ->
+  recovered
+
+(** Run the simulation to completion under the journal, final fsync
+    included.  An armed {!Journal.Chaos} crash point propagates as
+    {!Journal.Chaos.Crashed} with the log torn exactly as a real crash
+    would leave it. *)
+val run : t -> Simulator.result

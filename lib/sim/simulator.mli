@@ -29,6 +29,13 @@ type config = {
           only once the whole group is placed (default false: tasks start
           as placed, the paper simulator's behaviour for latency
           accounting) *)
+  deterministic_wall : bool;
+      (** substitute the simulated think time for the measured solver
+          wall time in the metrics (docs/JOURNAL.md): journaled runs
+          need byte-identical reports across a crash/recovery replay,
+          and measured wall times are the one nondeterministic input.
+          Default false — the off path is byte-identical to the
+          pre-journal simulator. *)
 }
 
 val default_config : config
@@ -54,3 +61,70 @@ val run :
   Scheduler_intf.t ->
   (float * Hire.Poly_req.t) list ->
   result
+
+(** {1 Stepped execution}
+
+    The event loop as an explicit state machine, for callers that need
+    to interleave the simulation with journaling (docs/JOURNAL.md):
+    [run] above is exactly [init] + [step] to exhaustion + [finish]. *)
+
+(** A live simulation. *)
+type t
+
+(** Same inputs as {!run}; the fault plan and arrival stream are queued
+    up front, nothing is executed yet. *)
+val init :
+  ?config:config ->
+  ?faults:Faults.Plan.t ->
+  ?fault_policy:Faults.Policy.t ->
+  Cluster.t ->
+  Scheduler_intf.t ->
+  (float * Hire.Poly_req.t) list ->
+  t
+
+(** Process the next event.  [emit] receives the {!Wal.record}s the
+    event gives rise to — in order, before their effects become
+    externally visible (a [Round] record is emitted after the scheduler
+    decided, and charged the cluster ledgers, but before the placements
+    enter the running-task registry).  Returns [false] once the event
+    queue is empty. *)
+val step : ?emit:(Wal.record -> unit) -> t -> bool
+
+(** Finalize metrics and build the result (call once, after [step]
+    returns [false]). *)
+val finish : t -> result
+
+val now : t -> float
+val events_processed : t -> int
+
+(** Scheduling rounds executed so far (= the [round] field of the last
+    {!Wal.Round} record). *)
+val rounds : t -> int
+
+val metrics : t -> Metrics.t
+
+(** {1 Checkpointing (docs/JOURNAL.md)} *)
+
+(** Whether the scheduler offers {!Scheduler_intf.persist} — without it
+    [snapshot] returns [None] and recovery must replay from genesis. *)
+val can_snapshot : t -> bool
+
+(** Serialize the complete dynamic state: event queue (with tie-break
+    sequence numbers), running-task registry, requeue/gang bookkeeping,
+    cluster ledgers, metrics, and the scheduler's own snapshot.  The
+    static inputs (topology, arrivals, fault plan, config) are not
+    captured — a snapshot only makes sense overlaid on a simulation
+    rebuilt from the same spec. *)
+val snapshot : t -> string option
+
+(** Overlay a {!snapshot} onto a freshly {!init}ed simulation of the
+    same spec.  @raise Prelude.Codec.Error on malformed or mismatched
+    blobs. *)
+val restore : t -> string -> unit
+
+(** Recompute expected ledger usage from the running-task registry and
+    compare against the cluster's actual ledgers, dimension by
+    dimension.  [Error msg] names the first mismatch; run after
+    recovery to catch a restore that drifted from the journaled
+    history. *)
+val ledger_check : t -> (unit, string) Stdlib.result
