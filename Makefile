@@ -1,4 +1,4 @@
-.PHONY: all build test check lint-compare bench-solver bench-portfolio bench-journal doc clean
+.PHONY: all build test check lint-compare bench-solver bench-portfolio bench-journal bench-server doc clean
 
 all: build
 
@@ -43,6 +43,14 @@ bench-journal:
 	@grep -q '"identical": true' BENCH_7.json
 	@echo "bench-journal: OK (BENCH_7.json)"
 
+# Admission-server load benchmark; writes BENCH_8.json (see
+# docs/SERVER.md for how to read it).  Exits non-zero if any
+# acknowledged admission is lost across the kill -9 (WAL-before-ack).
+bench-server:
+	dune exec bench/bench_server.exe -- --out BENCH_8.json
+	@grep -q '"all_acked_recovered":true' BENCH_8.json
+	@echo "bench-server: OK (BENCH_8.json)"
+
 # Tier-1 gate plus smoke-checks that the observability and fault flags
 # are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md), that a
 # small deterministic fault-injected run completes, that bad flags fail
@@ -55,7 +63,9 @@ bench-journal:
 # bit-identical (docs/PERFORMANCE.md), and that a journaled run crashed
 # mid-flight with a corrupted WAL tail recovers — tear truncated
 # (journal.torn_tail), replayed, and finished byte-identical to an
-# uninterrupted run (docs/JOURNAL.md).
+# uninterrupted run (docs/JOURNAL.md), and that the admission server
+# (docs/SERVER.md) serves a submit/drain/shutdown session over its Unix
+# socket and fails fast with a one-line error on an unusable state dir.
 check: lint-compare
 	dune build
 	dune runtest
@@ -108,6 +118,29 @@ check: lint-compare
 		| grep -Eq 'journal\.torn_tail +1'
 	cmp /tmp/hire_check_journal/ref.csv /tmp/hire_check_journal/rec.csv
 	rm -rf /tmp/hire_check_journal
+	dune exec bin/hire_service.exe -- --help=plain | grep -q -- '--serve'
+	rm -rf /tmp/hire_check_server /tmp/hire_check_notadir
+	touch /tmp/hire_check_notadir
+	@if dune exec bin/hire_service.exe -- --state-dir /tmp/hire_check_notadir/sub \
+		-k 4 --horizon 10 2>/tmp/hire_service_err.txt >/dev/null; then \
+		echo "check: FAIL (unusable state dir should exit non-zero)"; exit 1; fi
+	@test "$$(wc -l < /tmp/hire_service_err.txt)" -eq 1 || \
+		{ echo "check: FAIL (error should be one line, got:)"; cat /tmp/hire_service_err.txt; exit 1; }
+	@grep -q '^hire_service:' /tmp/hire_service_err.txt || \
+		{ echo "check: FAIL (expected hire_service: error prefix, got:)"; cat /tmp/hire_service_err.txt; exit 1; }
+	rm -f /tmp/hire_check_notadir /tmp/hire_service_err.txt
+	@./_build/default/bin/hire_service.exe --serve --state-dir /tmp/hire_check_server \
+		-k 4 --horizon 0 --seed 1 --round-interval 0.2 \
+		--csv /tmp/hire_check_server/server.csv > /tmp/hire_check_server.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 100); do test -S /tmp/hire_check_server/server.sock && break; sleep 0.1; done; \
+	./_build/default/bin/hire_client.exe --socket /tmp/hire_check_server/server.sock \
+		--submit 3 --drain --shutdown > /dev/null \
+		|| { echo "check: FAIL (hire_client session failed)"; kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid || { echo "check: FAIL (server exited non-zero)"; cat /tmp/hire_check_server.log; exit 1; }
+	@test -s /tmp/hire_check_server/server.csv || \
+		{ echo "check: FAIL (serve-mode CSV missing)"; exit 1; }
+	rm -rf /tmp/hire_check_server /tmp/hire_check_server.log
 	@echo "check: OK"
 
 # odoc is optional in this environment; the lib/obs dune env marks its

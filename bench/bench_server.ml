@@ -1,0 +1,230 @@
+(* Load generator for the admission-API server (docs/SERVER.md).
+
+   Forks a real server (Admission + Net over a Unix-domain socket),
+   drives it from several pipelined client connections, and measures
+   the paper-adjacent serving metrics: sustained admissions/sec, ack
+   latency p50/p99 (send → WAL-fsynced acknowledgment), and crash
+   recovery — the server is killed with SIGKILL mid-stream and the
+   journal is recovered in-process, timing the rebuild and verifying
+   that every acknowledged admission survived (WAL-before-ack).
+
+   Emits one JSON object (BENCH_8.json for the CI bench leg) with an
+   ["ok"] gate scripts can branch on. *)
+
+module Json = Server.Json
+module Protocol = Server.Protocol
+module Admission = Server.Admission
+
+let synth_spec ~seed ~client_id k =
+  let rng = Prelude.Rng.create (seed + k) in
+  let n_groups = Prelude.Rng.int_in rng 1 3 in
+  let groups =
+    List.init n_groups (fun g ->
+        {
+          Workload.Job.tg_index = g;
+          count = Prelude.Rng.int_in rng 1 6;
+          cpu = Prelude.Rng.float_in rng 0.5 4.0;
+          mem = Prelude.Rng.float_in rng 0.5 4.0;
+          duration = Prelude.Rng.float_in rng 1.0 15.0;
+        })
+  in
+  let priority =
+    if Prelude.Rng.bernoulli rng 0.3 then Workload.Job.Service else Workload.Job.Batch
+  in
+  let inc = if k mod 4 = 0 then Protocol.Auto else Protocol.No_inc in
+  { Protocol.priority; groups; inc; client_id }
+
+let send_line fd line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec write off =
+    if off < len then write (off + Unix.write_substring fd data off (len - off))
+  in
+  write 0
+
+type client = { fd : Unix.file_descr; buf : Buffer.t }
+
+let recv_line c =
+  let chunk = Bytes.create 4096 in
+  let rec read () =
+    match String.index_opt (Buffer.contents c.buf) '\n' with
+    | Some i ->
+        let all = Buffer.contents c.buf in
+        let line = String.sub all 0 i in
+        Buffer.clear c.buf;
+        Buffer.add_substring c.buf all (i + 1) (String.length all - i - 1);
+        line
+    | None ->
+        let n = Unix.read c.fd chunk 0 4096 in
+        if n = 0 then failwith "server closed the connection";
+        Buffer.add_subbytes c.buf chunk 0 n;
+        read ()
+  in
+  read ()
+
+let connect_with_retry path =
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; buf = Buffer.create 1024 }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when tries > 0 ->
+        Unix.close fd;
+        Unix.sleepf 0.05;
+        go (tries - 1)
+  in
+  go 200
+
+let admitted_id resp =
+  match Json.parse resp with
+  | Ok v when Json.member "ok" v = Some (Json.Bool true) ->
+      Option.bind (Json.member "id" v) Json.to_int
+  | _ -> None
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let run jobs conns seed out state_dir =
+  let state_dir =
+    match state_dir with
+    | Some d -> d
+    | None ->
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "hire_bench_server_%d" (Unix.getpid ()))
+  in
+  let journal_dir = Filename.concat state_dir "journal" in
+  let sock = Filename.concat state_dir "server.sock" in
+  (match Unix.mkdir state_dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let config =
+    { Admission.default_config with round_interval = 0.5; max_batch = max 64 jobs }
+  in
+  let spec = { Harness.Experiment.default with horizon = 0.0; seed } in
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+        Unix._exit
+          (try
+             let engine = Admission.start ~dir:journal_dir ~config spec in
+             let (_ : Sim.Simulator.result) =
+               Server.Net.serve ~engine ~listen:(Server.Net.Unix_sock sock)
+                 ~tick_interval:0.5 ()
+             in
+             0
+           with _ -> 1)
+    | pid -> pid
+  in
+  Fun.protect ~finally:(fun () -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let clients = Array.init (max 1 conns) (fun _ -> connect_with_retry sock) in
+  let c0 = clients.(0) in
+
+  (* -------- phase 1: throughput + ack latency ---------------------- *)
+  let latencies = ref [] in
+  let acked = ref 0 in
+  let t0 = Prelude.Clock.now () in
+  let i = ref 0 in
+  while !i < jobs do
+    (* pipeline one submission per connection, then collect the acks:
+       the server batches the round under a single WAL barrier *)
+    let wave = min (Array.length clients) (jobs - !i) in
+    let sent_at = Prelude.Clock.now () in
+    for c = 0 to wave - 1 do
+      send_line clients.(c).fd
+        (Protocol.render_submit
+           (synth_spec ~seed ~client_id:(Some (Printf.sprintf "load-%d" (!i + c)))
+              (!i + c)))
+    done;
+    for c = 0 to wave - 1 do
+      let resp = recv_line clients.(c) in
+      if admitted_id resp <> None then incr acked;
+      latencies := (Prelude.Clock.now () -. sent_at) :: !latencies
+    done;
+    i := !i + wave
+  done;
+  let elapsed = Prelude.Clock.now () -. t0 in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+
+  (* -------- phase 2: kill -9 mid-stream, recover in-process -------- *)
+  let crash_ids = ref [] in
+  for k = 0 to 49 do
+    send_line c0.fd
+      (Protocol.render_submit (synth_spec ~seed ~client_id:None (jobs + k)));
+    match admitted_id (recv_line c0) with
+    | Some id -> crash_ids := id :: !crash_ids
+    | None -> ()
+  done;
+  Unix.kill pid Sys.sigkill;
+  let (_ : int * Unix.process_status) = Unix.waitpid [] pid in
+  let t_rec = Prelude.Clock.now () in
+  let r = Admission.recover ~dir:journal_dir ~config () in
+  let recovery_s = Prelude.Clock.now () -. t_rec in
+  let engine = r.Admission.engine in
+  let all_recovered =
+    List.for_all (fun id -> Admission.status engine id <> None) !crash_ids
+  in
+  let (_ : Sim.Simulator.result) = Admission.finish engine in
+
+  let ok = all_recovered && !acked = jobs && elapsed > 0.0 in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "server");
+        ("jobs", Json.Num (float_of_int jobs));
+        ("conns", Json.Num (float_of_int (Array.length clients)));
+        ("acked", Json.Num (float_of_int !acked));
+        ("admissions_per_s", Json.Num (float_of_int !acked /. elapsed));
+        ("ack_p50_ms", Json.Num (1e3 *. percentile lat 0.50));
+        ("ack_p99_ms", Json.Num (1e3 *. percentile lat 0.99));
+        ("acked_before_crash", Json.Num (float_of_int (List.length !crash_ids)));
+        ("pending_recovered", Json.Num (float_of_int r.Admission.pending_recovered));
+        ("replayed", Json.Num (float_of_int r.Admission.replayed));
+        ("recovery_s", Json.Num recovery_s);
+        ("all_acked_recovered", Json.Bool all_recovered);
+        ("ok", Json.Bool ok);
+      ]
+  in
+  let text = Json.to_string doc in
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (text ^ "\n");
+      close_out oc);
+  print_endline text;
+  Array.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) clients;
+  if not ok then exit 1
+
+open Cmdliner
+
+let jobs =
+  let doc = "Submissions in the throughput phase." in
+  Arg.(value & opt int 200 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let conns =
+  let doc = "Concurrent client connections." in
+  Arg.(value & opt int 4 & info [ "conns" ] ~docv:"C" ~doc)
+
+let seed =
+  let doc = "Seed of the synthetic submission stream." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let out =
+  let doc = "Write the JSON result to $(docv) (BENCH_8.json in CI)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let state_dir =
+  let doc = "Server state directory (default: a fresh temp directory)." in
+  Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "benchmark the admission server: throughput, ack latency, recovery" in
+  Cmd.v
+    (Cmd.info "bench_server" ~version:"1.0" ~doc)
+    Term.(const run $ jobs $ conns $ seed $ out $ state_dir)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,207 @@
+(* Command-line client for the admission-API server (docs/SERVER.md).
+   Connects over the Unix-domain (or TCP) socket, speaks one JSON
+   request per line, prints each response line to stdout.  Exit status
+   1 on a transport failure or any ["ok": false] response — scripts
+   (make check, the CI server leg) branch on it. *)
+
+let connect socket tcp =
+  match tcp with
+  | Some hostport -> (
+      match String.index_opt hostport ':' with
+      | None -> failwith "expected HOST:PORT for --tcp"
+      | Some i ->
+          let host = String.sub hostport 0 i in
+          let port =
+            match
+              int_of_string_opt
+                (String.sub hostport (i + 1) (String.length hostport - i - 1))
+            with
+            | Some p -> p
+            | None -> failwith "expected HOST:PORT for --tcp"
+          in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+          fd)
+  | None ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      fd
+
+(* Blocking line-oriented transport: one request out, one response in. *)
+let send_line fd line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec write off =
+    if off < len then write (off + Unix.write_substring fd data off (len - off))
+  in
+  write 0
+
+let recv_line fd buf =
+  let chunk = Bytes.create 4096 in
+  let rec read () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i ->
+        let all = Buffer.contents buf in
+        let line = String.sub all 0 i in
+        Buffer.clear buf;
+        Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
+        line
+    | None ->
+        let n = Unix.read fd chunk 0 4096 in
+        if n = 0 then failwith "server closed the connection";
+        Buffer.add_subbytes buf chunk 0 n;
+        read ()
+  in
+  read ()
+
+(* One round trip; returns false when the server said ["ok": false]. *)
+let roundtrip fd buf line =
+  send_line fd line;
+  let resp = recv_line fd buf in
+  print_endline resp;
+  match Server.Json.parse resp with
+  | Ok v -> Server.Json.member "ok" v = Some (Server.Json.Bool true)
+  | Error _ -> false
+
+(* Synthetic submissions, deterministic from the seed: small jobs in
+   the trace generator's shape so the server-side translation exercises
+   the same paths as a real trace. *)
+let synth_spec rng inc client_prefix i =
+  let n_groups = Prelude.Rng.int_in rng 1 3 in
+  let groups =
+    List.init n_groups (fun g ->
+        {
+          Workload.Job.tg_index = g;
+          count = Prelude.Rng.int_in rng 1 8;
+          cpu = Prelude.Rng.float_in rng 0.5 4.0;
+          mem = Prelude.Rng.float_in rng 0.5 4.0;
+          duration = Prelude.Rng.float_in rng 1.0 20.0;
+        })
+  in
+  let priority =
+    if Prelude.Rng.bernoulli rng 0.3 then Workload.Job.Service
+    else Workload.Job.Batch
+  in
+  let inc =
+    match inc with
+    | "none" -> Server.Protocol.No_inc
+    | "auto" -> Server.Protocol.Auto
+    | s -> Server.Protocol.Service s
+  in
+  let client_id =
+    match client_prefix with
+    | None -> None
+    | Some p -> Some (Printf.sprintf "%s-%d" p i)
+  in
+  { Server.Protocol.priority; groups; inc; client_id }
+
+let run socket tcp submit seed inc client_prefix status stats drain shutdown raw =
+  let fd = connect socket tcp in
+  let buf = Buffer.create 256 in
+  let ok = ref true in
+  let step line = if not (roundtrip fd buf line) then ok := false in
+  let rng = Prelude.Rng.create seed in
+  for i = 0 to submit - 1 do
+    step (Server.Protocol.render_submit (synth_spec rng inc client_prefix i))
+  done;
+  (match status with
+  | None -> ()
+  | Some id ->
+      step
+        (Server.Json.to_string
+           (Server.Json.Obj
+              [ ("op", Server.Json.Str "status"); ("id", Server.Json.Num (float_of_int id)) ])));
+  if stats then
+    step (Server.Json.to_string (Server.Json.Obj [ ("op", Server.Json.Str "stats") ]));
+  List.iter step raw;
+  if drain then
+    step (Server.Json.to_string (Server.Json.Obj [ ("op", Server.Json.Str "drain") ]));
+  if shutdown then
+    step
+      (Server.Json.to_string (Server.Json.Obj [ ("op", Server.Json.Str "shutdown") ]));
+  Unix.close fd;
+  if not !ok then exit 1
+
+open Cmdliner
+
+let socket =
+  let doc = "Unix-domain socket path of the server (its default is <state-dir>/server.sock)." in
+  Arg.(value & opt string (Filename.concat (Filename.concat "results" "service") "server.sock")
+       & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp =
+  let doc = "Connect over TCP instead of the Unix-domain socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let submit =
+  let doc = "Submit $(docv) synthetic jobs (deterministic from --seed)." in
+  Arg.(value & opt int 0 & info [ "submit" ] ~docv:"N" ~doc)
+
+let seed =
+  let doc = "Seed of the synthetic submission stream." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let inc =
+  let doc =
+    "INC request of synthetic submissions: $(b,none), $(b,auto), or a CompStore \
+     service name (e.g. netcache)."
+  in
+  Arg.(value & opt string "none" & info [ "inc" ] ~docv:"MODE" ~doc)
+
+let client_prefix =
+  let doc =
+    "Attach idempotency keys $(docv)-0, $(docv)-1, … to the synthetic \
+     submissions; resubmitting with the same prefix is deduplicated by the \
+     server."
+  in
+  Arg.(value & opt (some string) None & info [ "client-prefix" ] ~docv:"PREFIX" ~doc)
+
+let status =
+  let doc = "Query the status of admission $(docv)." in
+  Arg.(value & opt (some int) None & info [ "status" ] ~docv:"ID" ~doc)
+
+let stats =
+  let doc = "Query server statistics." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let drain =
+  let doc = "Flush pending admissions into the scheduler and run to quiescence." in
+  Arg.(value & flag & info [ "drain" ] ~doc)
+
+let shutdown =
+  let doc = "Ask the server to shut down (flushes pending work, closes the journal)." in
+  Arg.(value & flag & info [ "shutdown" ] ~doc)
+
+let raw =
+  let doc = "Send $(docv) verbatim as one request line (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "raw" ] ~docv:"LINE" ~doc)
+
+let cmd =
+  let doc = "submit jobs to a running admission server" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Drives the newline-delimited JSON admission API of $(b,hire_service \
+         --serve) (docs/SERVER.md).  Operations run in order: submissions, \
+         --status, --stats, --raw lines, --drain, --shutdown.";
+      `S Manpage.s_exit_status;
+      `P "1 when the transport fails or any response carries ok=false.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "hire_client" ~version:"1.0" ~doc ~man)
+    Term.(
+      const run $ socket $ tcp $ submit $ seed $ inc $ client_prefix $ status $ stats
+      $ drain $ shutdown $ raw)
+
+let () =
+  try exit (Cmd.eval ~catch:false cmd) with
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "hire_client: %s%s: %s\n" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e);
+      exit 1
+  | Failure msg | Sys_error msg | Invalid_argument msg ->
+      Printf.eprintf "hire_client: %s\n" msg;
+      exit 1

@@ -25,7 +25,8 @@ let parse_crash_at s =
         Some (int_of_string (String.sub s (i + 1) (String.length s - i - 1))) )
 
 let run state_dir checkpoint_every recover crash_at scheduler mu k horizon seed setup util
-    fraction faults_on mtbf mttr max_retries csv obs_summary =
+    fraction faults_on mtbf mttr max_retries csv obs_summary serve socket tcp
+    round_interval max_batch max_pending =
   if obs_summary then Obs.set_enabled true;
   Journal.Chaos.init_env ();
   (match crash_at with
@@ -76,46 +77,109 @@ let run state_dir checkpoint_every recover crash_at scheduler mu k horizon seed 
       portfolio = false;
     }
   in
-  let service =
-    if recover then begin
-      let r =
-        Sim.Service.recover ~dir ~checkpoint_every
-          ~rebuild:(fun header ->
-            let spec = Harness.Experiment.spec_of_blob header in
-            Printf.printf "recovering: %s\n%!" (Harness.Experiment.describe spec);
-            Harness.Experiment.prepare ~config spec)
-          ()
+  let result, csv_spec =
+    if serve then begin
+      (* Admission-server mode (docs/SERVER.md): the journaled world
+         fronted by a socket; every job arrives through the wire. *)
+      if round_interval <= 0.0 || not (Float.is_finite round_interval) then
+        failwith "--round-interval must be a positive number of seconds";
+      if max_batch < 1 then failwith "--max-batch must be >= 1";
+      if max_pending < 1 then failwith "--max-pending must be >= 1";
+      let sconfig =
+        {
+          Server.Admission.default_config with
+          round_interval;
+          max_batch;
+          max_pending;
+          checkpoint_every;
+        }
       in
-      Printf.printf "recovered: %d record(s) replayed%s\n%!" r.Sim.Service.replayed
-        (match r.Sim.Service.from_checkpoint with
-        | None -> ", from genesis"
-        | Some seq -> Printf.sprintf ", checkpoint covered seq < %d" seq);
-      r.Sim.Service.service
+      let engine =
+        if recover then begin
+          let r = Server.Admission.recover ~dir ~config:sconfig () in
+          Printf.printf
+            "recovered: %d record(s) replayed, %d pending admission(s) restored\n%!"
+            r.Server.Admission.replayed r.Server.Admission.pending_recovered;
+          r.Server.Admission.engine
+        end
+        else begin
+          let spec = spec_of_flags in
+          Printf.printf "serving %s from %s\n%!"
+            (Harness.Experiment.describe spec)
+            dir;
+          Server.Admission.start ~dir ~config:sconfig spec
+        end
+      in
+      let listen =
+        match tcp with
+        | Some hostport -> (
+            match String.index_opt hostport ':' with
+            | None -> failwith "expected HOST:PORT for --tcp"
+            | Some i -> (
+                let host = String.sub hostport 0 i in
+                let rest = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+                match int_of_string_opt rest with
+                | Some port -> Server.Net.Tcp (host, port)
+                | None -> failwith "expected HOST:PORT for --tcp"))
+        | None ->
+            let path =
+              match socket with
+              | Some p -> p
+              | None -> Filename.concat state_dir "server.sock"
+            in
+            Server.Net.Unix_sock path
+      in
+      (match listen with
+      | Server.Net.Unix_sock p -> Printf.printf "listening on %s\n%!" p
+      | Server.Net.Tcp (h, p) -> Printf.printf "listening on %s:%d\n%!" h p);
+      let result = Server.Net.serve ~engine ~listen ~tick_interval:round_interval () in
+      (result, Server.Admission.spec engine)
     end
     else begin
-      let spec = spec_of_flags in
-      Printf.printf "journaling %s into %s\n%!" (Harness.Experiment.describe spec) dir;
-      Sim.Service.start ~dir ~checkpoint_every
-        ~header:(Harness.Experiment.spec_to_blob spec)
-        (Harness.Experiment.prepare ~config spec)
-    end
-  in
-  let result = Sim.Service.run service in
-  let report = result.Sim.Simulator.report in
-  Printf.printf "%s\n" (Format.asprintf "%a" Sim.Metrics.pp_report report);
-  (match csv with
-  | None -> ()
-  | Some path ->
-      (* The spec identity for the row comes from the flags on a fresh
-         start; on recovery re-read it from the journal header so the
-         row labels match the journaled run, not the defaults. *)
-      let spec =
+      let service =
+        if recover then begin
+          let r =
+            Sim.Service.recover ~dir ~checkpoint_every
+              ~rebuild:(fun header ->
+                let spec = Harness.Experiment.spec_of_blob header in
+                Printf.printf "recovering: %s\n%!" (Harness.Experiment.describe spec);
+                Harness.Experiment.prepare ~config spec)
+              ()
+          in
+          Printf.printf "recovered: %d record(s) replayed%s\n%!" r.Sim.Service.replayed
+            (match r.Sim.Service.from_checkpoint with
+            | None -> ", from genesis"
+            | Some seq -> Printf.sprintf ", checkpoint covered seq < %d" seq);
+          r.Sim.Service.service
+        end
+        else begin
+          let spec = spec_of_flags in
+          Printf.printf "journaling %s into %s\n%!" (Harness.Experiment.describe spec) dir;
+          Sim.Service.start ~dir ~checkpoint_every
+            ~header:(Harness.Experiment.spec_to_blob spec)
+            (Harness.Experiment.prepare ~config spec)
+        end
+      in
+      let result = Sim.Service.run service in
+      (* The spec identity for the CSV row comes from the flags on a
+         fresh start; on recovery re-read it from the journal header so
+         the row labels match the journaled run, not the defaults. *)
+      let csv_spec =
         if recover then
           match Journal.Source.load ~path:(Filename.concat dir "wal.bin") with
           | Ok l -> Harness.Experiment.spec_of_blob l.Journal.Source.header
           | Error e -> Journal.Error.raise_ e
         else spec_of_flags
       in
+      (result, csv_spec)
+    end
+  in
+  let report = result.Sim.Simulator.report in
+  Printf.printf "%s\n" (Format.asprintf "%a" Sim.Metrics.pp_report report);
+  (match csv with
+  | None -> ()
+  | Some path ->
+      let spec = csv_spec in
       let row =
         Sim.Csv_export.row ~faults:(spec.Harness.Experiment.faults <> None) ~resilience:false
           ~scheduler:spec.Harness.Experiment.scheduler ~mu:spec.Harness.Experiment.mu
@@ -222,9 +286,47 @@ let csv =
 let obs_summary =
   let doc =
     "Enable instrumentation and print the observability registry after the run \
-     (includes the journal.* counters)."
+     (includes the journal.* and server.* counters)."
   in
   Arg.(value & flag & info [ "obs-summary" ] ~doc)
+
+let serve =
+  let doc =
+    "Run as the admission-API server (docs/SERVER.md): instead of replaying the \
+     spec's trace to completion, listen on a socket for newline-delimited JSON \
+     job submissions, journal each accepted one before acknowledging it \
+     (WAL-before-ack), and hand batches to the scheduler every \
+     $(b,--round-interval) seconds.  Combine with $(b,--horizon 0) so every job \
+     comes through the wire, and with $(b,--recover) to resume a crashed server."
+  in
+  Arg.(value & flag & info [ "serve" ] ~doc)
+
+let socket =
+  let doc = "Unix-domain socket path (default: $(b,--state-dir)/server.sock)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp =
+  let doc = "Listen on TCP $(docv) instead of a Unix-domain socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let round_interval =
+  let doc =
+    "Scheduling cadence of $(b,--serve), seconds: pending admissions are flushed \
+     into the simulator as one batch every $(docv) of wall time, and consecutive \
+     batches are spaced $(docv) apart in simulated time."
+  in
+  Arg.(value & opt float 1.0 & info [ "round-interval" ] ~docv:"SECONDS" ~doc)
+
+let max_batch =
+  let doc = "Flush early once $(docv) admissions are pending (with $(b,--serve))." in
+  Arg.(value & opt int 64 & info [ "max-batch" ] ~docv:"N" ~doc)
+
+let max_pending =
+  let doc =
+    "Backpressure bound of $(b,--serve): submissions beyond $(docv) pending are \
+     rejected with $(i,queue_full) instead of being journaled."
+  in
+  Arg.(value & opt int 1024 & info [ "max-pending" ] ~docv:"N" ~doc)
 
 let cmd =
   let doc = "run one scheduling experiment under a crash-recoverable journal" in
@@ -246,8 +348,12 @@ let cmd =
     Term.(
       const run $ state_dir $ checkpoint_every $ recover $ crash_at $ scheduler $ mu $ k
       $ horizon $ seed $ setup $ util $ fraction $ faults_flag $ mtbf $ mttr $ max_retries
-      $ csv $ obs_summary)
+      $ csv $ obs_summary $ serve $ socket $ tcp $ round_interval $ max_batch
+      $ max_pending)
 
+(* Error convention shared with hire_sim: one line on stderr, exit 1 —
+   bad flags, unreadable state directories, and journal failures all
+   land the same way, so scripts can branch on the exit code alone. *)
 let () =
   try exit (Cmd.eval ~catch:false cmd) with
   | Journal.Chaos.Crashed seq ->
@@ -255,6 +361,11 @@ let () =
       exit 9
   | Journal.Error.Journal_error e ->
       Printf.eprintf "hire_service: %s\n" (Journal.Error.to_string e);
+      exit 1
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "hire_service: %s%s: %s\n" fn
+        (if arg = "" then "" else " " ^ arg)
+        (Unix.error_message e);
       exit 1
   | Failure msg | Sys_error msg | Invalid_argument msg ->
       Printf.eprintf "hire_service: %s\n" msg;

@@ -1,0 +1,408 @@
+(* The admission engine (docs/SERVER.md): external submissions →
+   validated CompReqs → transformed PolyReqs → journaled [Wal.Admit]
+   records → batched [Wal.Inject] rounds through the simulator.
+
+   Durability contract: WAL-before-ack.  [submit] buffers the [Admit]
+   record through the service sink; the caller runs [ack_barrier] (a
+   real fsync) before acknowledging anything.  Recovery rebuilds every
+   table from a full WAL scan, so an acked admission survives any
+   crash, and admissions present in no [Inject] record come back as
+   the pending queue. *)
+
+type config = {
+  round_interval : float;
+  max_batch : int;
+  max_pending : int;
+  checkpoint_every : int;
+  fsync_interval_s : float;
+}
+
+let default_config =
+  {
+    round_interval = 1.0;
+    max_batch = 64;
+    max_pending = 1024;
+    checkpoint_every = 0;
+    fsync_interval_s = 0.02;
+  }
+
+(* Admitted jobs live in a reserved id band: job_id = id_base + admit_id,
+   task-group ids from id_base + admit_id * tg_stride.  The band clears
+   every trace job and fault-retry clone id (those are small or
+   negative); the stride clears the transformer's per-job appetite —
+   at most [Protocol.max_groups] composites, each expanding to at most
+   four task groups (server + reduced server + two network groups). *)
+let id_base = 1_000_000_000
+let tg_stride = 64
+
+type entry = {
+  poly : Hire.Poly_req.t;  (* as journaled; arrival is a placeholder *)
+  client : string;
+  mutable injected_at : float option;
+  mutable placements : int;
+  mutable completions : int;
+}
+
+(* The mutable bookkeeping lives apart from [t] so recovery can rebuild
+   it from the WAL scan before the service handle exists. *)
+type tables = {
+  admits : (int, entry) Hashtbl.t;
+  clients : (string, int) Hashtbl.t;  (* idempotency key -> admit_id *)
+  mutable next_admit_id : int;
+  mutable pending_rev : int list;  (* newest first; flush reverses *)
+  mutable pending_n : int;
+  mutable last_batch : float;  (* injection time of the previous batch *)
+  mutable injected : int;
+  mutable batches : int;
+  mutable rejected : int;  (* session-local: rejections are never journaled *)
+}
+
+let fresh_tables () =
+  {
+    admits = Hashtbl.create 64;
+    clients = Hashtbl.create 64;
+    next_admit_id = 0;
+    pending_rev = [];
+    pending_n = 0;
+    last_batch = Float.neg_infinity;
+    injected = 0;
+    batches = 0;
+    rejected = 0;
+  }
+
+type t = {
+  service : Sim.Service.t;
+  spec : Harness.Experiment.spec;
+  config : config;
+  store : Hire.Comp_store.t;
+  tb : tables;
+}
+
+let service t = t.service
+let spec t = t.spec
+let config t = t.config
+
+let admit_of_tg tg_id =
+  if tg_id >= id_base then Some ((tg_id - id_base) / tg_stride) else None
+
+(* Shared by the live observer (simulator-emitted records only — input
+   records bypass it) and the recovery scan (every stored record). *)
+let observe_record tb (r : Sim.Wal.record) =
+  match r with
+  | Sim.Wal.Admit { admit_id; client; poly } ->
+      if not (Hashtbl.mem tb.admits admit_id) then begin
+        Hashtbl.replace tb.admits admit_id
+          { poly; client; injected_at = None; placements = 0; completions = 0 };
+        if client <> "" then Hashtbl.replace tb.clients client admit_id;
+        if admit_id >= tb.next_admit_id then tb.next_admit_id <- admit_id + 1
+      end
+  | Sim.Wal.Inject { time; admit_ids } ->
+      tb.batches <- tb.batches + 1;
+      tb.last_batch <- Float.max tb.last_batch time;
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt tb.admits id with
+          | Some e when e.injected_at = None ->
+              e.injected_at <- Some time;
+              tb.injected <- tb.injected + 1
+          | _ -> ())
+        admit_ids
+  | Sim.Wal.Round { placements; _ } ->
+      List.iter
+        (fun (tg_id, _machine) ->
+          match admit_of_tg tg_id with
+          | None -> ()
+          | Some id -> (
+              match Hashtbl.find_opt tb.admits id with
+              | Some e -> e.placements <- e.placements + 1
+              | None -> ()))
+        placements
+  | Sim.Wal.Complete { tg_id; _ } -> (
+      match admit_of_tg tg_id with
+      | None -> ()
+      | Some id -> (
+          match Hashtbl.find_opt tb.admits id with
+          | Some e -> e.completions <- e.completions + 1
+          | None -> ()))
+  | _ -> ()
+
+(* Journaled runs substitute simulated think time for measured solver
+   wall clock — replay must re-derive every record byte for byte. *)
+let sim_config = { Sim.Simulator.default_config with deterministic_wall = true }
+
+let drain_sim t =
+  while Sim.Service.step t.service do
+    ()
+  done
+
+let start ~dir ~config spec =
+  let sim = Harness.Experiment.prepare ~config:sim_config spec in
+  let svc =
+    Sim.Service.start ~dir ~checkpoint_every:config.checkpoint_every
+      ~fsync_interval_s:config.fsync_interval_s
+      ~header:(Harness.Experiment.spec_to_blob spec)
+      sim
+  in
+  let tb = fresh_tables () in
+  let t = { service = svc; spec; config; store = Hire.Comp_store.default (); tb } in
+  Sim.Service.set_observer svc (observe_record tb);
+  (* Run the spec's own trace (empty under the serving default of a tiny
+     horizon) to quiescence so admission starts from a settled world. *)
+  drain_sim t;
+  t
+
+type recovered = { engine : t; replayed : int; pending_recovered : int }
+
+let recover ~dir ~config () =
+  let tb = fresh_tables () in
+  let spec_ref = ref None in
+  let r =
+    Sim.Service.recover ~dir ~checkpoint_every:config.checkpoint_every
+      ~fsync_interval_s:config.fsync_interval_s
+      ~on_input:(fun sim record ->
+        match record with
+        | Sim.Wal.Admit _ -> ()  (* payload only; tables come from the scan *)
+        | Sim.Wal.Inject { time; admit_ids } ->
+            List.iter
+              (fun id ->
+                match Hashtbl.find_opt tb.admits id with
+                | Some e -> Sim.Simulator.inject sim ~time e.poly
+                | None ->
+                    (* an [Admit] always precedes its [Inject] in the
+                       stream, and the scan saw the whole log *)
+                    failwith
+                      (Printf.sprintf
+                         "WAL inject references unknown admission %d" id))
+              admit_ids
+        | _ -> ())
+      ~observe:(observe_record tb)
+      ~rebuild:(fun header ->
+        let s = Harness.Experiment.spec_of_blob header in
+        spec_ref := Some s;
+        Harness.Experiment.prepare ~config:sim_config s)
+      ()
+  in
+  let spec = match !spec_ref with Some s -> s | None -> assert false in
+  (* The accepted-but-unplaced queue: admitted, never injected — in
+     admission order, exactly what the crashed server still owed. *)
+  let pend =
+    Hashtbl.fold
+      (fun id e acc -> if e.injected_at = None then id :: acc else acc)
+      tb.admits []
+  in
+  let asc = List.sort compare pend in
+  tb.pending_rev <- List.rev asc;
+  tb.pending_n <- List.length asc;
+  let t =
+    {
+      service = r.Sim.Service.service;
+      spec;
+      config;
+      store = Hire.Comp_store.default ();
+      tb;
+    }
+  in
+  Sim.Service.set_observer t.service (observe_record tb);
+  (* Restore the between-batches invariant: a crash can interrupt a
+     flush mid-schedule, leaving replayed-but-unprocessed events in the
+     queue.  Draining them here reproduces the order the uninterrupted
+     run would have journaled — rounds of the interrupted batch land
+     before any new admission. *)
+  drain_sim t;
+  { engine = t; replayed = r.Sim.Service.replayed; pending_recovered = tb.pending_n }
+
+type admit_result =
+  | Admitted of { admit_id : int; duplicate : bool }
+  | Rejected of string
+
+let mix_seed seed admit_id = (seed * 1_000_003) + ((admit_id + 1) * 9_007_199)
+
+(* CompReq construction + INC attachment + transformation.  [Auto]
+   mirrors the harness's scenario augmentation (§6.2): up to a third of
+   the composites get an INC alternative, at least one; a named service
+   attaches to the first composite.  The RNG is derived from (spec
+   seed, admit_id) alone, so recovery never needs to re-run this — the
+   transformed PolyReq is journaled verbatim in the [Admit] record. *)
+let translate t ~admit_id (js : Protocol.job_spec) =
+  let job_id = id_base + admit_id in
+  let job =
+    { Workload.Job.id = job_id; arrival = 0.0; priority = js.priority;
+      groups = js.groups }
+  in
+  let req = Hire.Comp_req.of_job job in
+  let rng = Prelude.Rng.create (mix_seed t.spec.Harness.Experiment.seed admit_id) in
+  let attached =
+    match js.inc with
+    | Protocol.No_inc -> Ok req
+    | Protocol.Auto ->
+        let services = Hire.Comp_store.service_names t.store in
+        if Array.length services = 0 then Ok req
+        else begin
+          let comps = Array.of_list req.Hire.Comp_req.composites in
+          let n = Array.length comps in
+          let n_inc = Prelude.Rng.int_in rng 1 (max 1 ((n + 2) / 3)) in
+          let idxs =
+            Prelude.Rng.sample_without_replacement rng ~n:n_inc
+              (Array.init n (fun i -> i))
+          in
+          List.iter
+            (fun i ->
+              let service = Prelude.Rng.choose rng services in
+              match Hire.Comp_store.template_of_service t.store service with
+              | None -> ()
+              | Some template ->
+                  let c = comps.(i) in
+                  comps.(i) <-
+                    { c with Hire.Comp_req.template; inc_alternatives = [ service ] })
+            idxs;
+          Ok { req with Hire.Comp_req.composites = Array.to_list comps }
+        end
+    | Protocol.Service s -> (
+        match Hire.Comp_store.template_of_service t.store s with
+        | None -> Error (Printf.sprintf "unknown INC service %S" s)
+        | Some template -> (
+            match req.Hire.Comp_req.composites with
+            | [] -> Error "submission has no task groups"
+            | c :: rest ->
+                Ok
+                  {
+                    req with
+                    Hire.Comp_req.composites =
+                      { c with Hire.Comp_req.template; inc_alternatives = [ s ] }
+                      :: rest;
+                  }))
+  in
+  match attached with
+  | Error _ as e -> e
+  | Ok req -> (
+      match Hire.Comp_req.validate t.store req with
+      | Error msg -> Error ("invalid submission: " ^ msg)
+      | Ok () -> (
+          let ids =
+            Hire.Transformer.Id_gen.create ~first:(id_base + (admit_id * tg_stride)) ()
+          in
+          try Ok (Hire.Transformer.transform t.store ids rng ~job_id ~arrival:0.0 req)
+          with Invalid_argument msg -> Error ("invalid submission: " ^ msg)))
+
+let reject t msg =
+  t.tb.rejected <- t.tb.rejected + 1;
+  if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter "server.reject");
+  Rejected msg
+
+let submit t (js : Protocol.job_spec) =
+  match js.client_id with
+  | Some cid when Hashtbl.mem t.tb.clients cid ->
+      (* idempotent resubmission: the original admission stands, nothing
+         new reaches the journal *)
+      Admitted { admit_id = Hashtbl.find t.tb.clients cid; duplicate = true }
+  | _ ->
+      if t.tb.pending_n >= t.config.max_pending then reject t "queue_full"
+      else begin
+        let admit_id = t.tb.next_admit_id in
+        match translate t ~admit_id js with
+        | Error msg -> reject t msg
+        | Ok poly ->
+            let client = Option.value js.client_id ~default:"" in
+            Sim.Service.append t.service (Sim.Wal.Admit { admit_id; client; poly });
+            t.tb.next_admit_id <- admit_id + 1;
+            Hashtbl.replace t.tb.admits admit_id
+              { poly; client; injected_at = None; placements = 0; completions = 0 };
+            if client <> "" then Hashtbl.replace t.tb.clients client admit_id;
+            t.tb.pending_rev <- admit_id :: t.tb.pending_rev;
+            t.tb.pending_n <- t.tb.pending_n + 1;
+            if Obs.enabled () then
+              Obs.Registry.incr (Obs.Registry.counter "server.admit");
+            Admitted { admit_id; duplicate = false }
+      end
+
+let ack_barrier t = Sim.Service.ack_barrier t.service
+let pending t = t.tb.pending_n
+let batch_due t = t.tb.pending_n >= t.config.max_batch
+
+let flush t =
+  if t.tb.pending_n = 0 then begin
+    (* Nothing to inject, but drain anyway: a recovered engine may still
+       hold queued events from a batch interrupted mid-schedule. *)
+    drain_sim t;
+    0
+  end
+  else begin
+    let sim = Sim.Service.sim t.service in
+    (* Batches are spaced [round_interval] apart in simulated time; the
+       first lands at the simulator's current now. *)
+    let time =
+      Float.max (Sim.Simulator.now sim) (t.tb.last_batch +. t.config.round_interval)
+    in
+    let admit_ids = List.rev t.tb.pending_rev in
+    Sim.Service.append t.service (Sim.Wal.Inject { time; admit_ids });
+    List.iter
+      (fun id ->
+        let e = Hashtbl.find t.tb.admits id in
+        Sim.Simulator.inject sim ~time e.poly;
+        e.injected_at <- Some time;
+        t.tb.injected <- t.tb.injected + 1)
+      admit_ids;
+    t.tb.batches <- t.tb.batches + 1;
+    t.tb.last_batch <- time;
+    let n = t.tb.pending_n in
+    t.tb.pending_rev <- [];
+    t.tb.pending_n <- 0;
+    if Obs.enabled () then
+      Obs.Registry.incr ~by:n (Obs.Registry.counter "server.inject");
+    (* One batch = one scheduling problem: run the event loop dry so the
+       next batch meets a settled world (the paper's round model, §5). *)
+    drain_sim t;
+    n
+  end
+
+type status = {
+  phase : string;
+  injected_at : float option;
+  placements : int;
+  completions : int;
+}
+
+let status t id =
+  match Hashtbl.find_opt t.tb.admits id with
+  | None -> None
+  | Some e ->
+      let phase =
+        match e.injected_at with
+        | None -> "queued"
+        | Some _ ->
+            if Sim.Simulator.quiescent (Sim.Service.sim t.service) then "done"
+            else if e.placements > 0 then "running"
+            else "injected"
+      in
+      Some
+        {
+          phase;
+          injected_at = e.injected_at;
+          placements = e.placements;
+          completions = e.completions;
+        }
+
+type stats = {
+  admitted : int;
+  rejected : int;
+  pending_now : int;
+  injected : int;
+  batches : int;
+  wal_records : int;
+  sim_now : float;
+}
+
+let stats t =
+  {
+    admitted = Hashtbl.length t.tb.admits;
+    rejected = t.tb.rejected;
+    pending_now = t.tb.pending_n;
+    injected = t.tb.injected;
+    batches = t.tb.batches;
+    wal_records = Sim.Service.wal_seq t.service;
+    sim_now = Sim.Simulator.now (Sim.Service.sim t.service);
+  }
+
+let finish t =
+  let (_ : int) = flush t in
+  Sim.Service.finish t.service

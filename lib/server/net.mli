@@ -1,0 +1,34 @@
+(** The admission server's socket front-end (docs/SERVER.md).
+
+    A single-threaded [Unix.select] loop over a Unix-domain or TCP
+    listening socket, speaking the newline-delimited JSON protocol of
+    {!Protocol}.  Request lines batch naturally: every line readable in
+    one poll round is parsed and applied, then {e one}
+    {!Admission.ack_barrier} covers all the admissions of the round
+    before any acknowledgment is queued — WAL-before-ack, with the
+    fsync amortized over the batch.
+
+    Scheduling ticks: every [tick_interval] wall seconds (and
+    immediately when the batch reaches [max_batch]) the pending
+    admissions are flushed into the simulator.  A flush or an explicit
+    [drain] runs the event loop to quiescence synchronously — the
+    server pauses I/O while the scheduler thinks, which is the round
+    model, not an accident.
+
+    Per-connection lines are bounded by {!Protocol.max_line_bytes}; a
+    connection that exceeds the bound gets a structured error and is
+    closed.  The loop exits on the [shutdown] op: pending admissions
+    are flushed, the journal is closed, and the simulation result is
+    returned. *)
+
+type listen =
+  | Unix_sock of string  (** path; a stale socket file is replaced *)
+  | Tcp of string * int  (** bind address, port *)
+
+(** Serve until a [shutdown] request.  [tick_interval] is the wall
+    cadence of batch flushes, seconds.  Returns the finalized
+    simulation result ({!Admission.finish}).  The listening socket (and
+    a Unix-domain socket file) is cleaned up on the way out. *)
+val serve :
+  engine:Admission.t -> listen:listen -> tick_interval:float ->
+  ?max_conns:int -> unit -> Sim.Simulator.result

@@ -4,7 +4,15 @@
    and checks, byte for byte, that every re-derived record matches the
    stored log.  Any mismatch means the world being replayed is not the
    world that wrote the journal (code drift, wrong spec, corrupted
-   state) and recovery fails closed with [Divergence]. *)
+   state) and recovery fails closed with [Divergence].
+
+   Input records ([Wal.Admit]/[Wal.Inject], docs/SERVER.md) are the one
+   exception: they carry external submissions *into* the simulation and
+   cannot be re-derived.  Replay applies them — at exactly the stream
+   position the live run appended them, which is always a step boundary
+   because the serial server only accepts input between steps — through
+   [on_input], and fails closed when a journal holds input records but
+   the caller supplied no handler. *)
 
 let divergence ~seq detail =
   Journal.Error.raise_ (Journal.Error.Divergence { seq; detail })
@@ -14,7 +22,7 @@ let describe body =
   | r -> Format.asprintf "%a" Wal.pp r
   | exception Prelude.Codec.Error _ -> "<undecodable record>"
 
-let replay sim ~records ~from_ ~live =
+let replay ?on_input sim ~records ~from_ ~live =
   let n = Array.length records in
   let cursor = ref from_ in
   if from_ < 0 || from_ > n then
@@ -34,12 +42,29 @@ let replay sim ~records ~from_ ~live =
          emitting: those records are new history, appended live. *)
       live r
   in
-  while !cursor < n && Simulator.step ~emit sim do
-    ()
+  while !cursor < n do
+    if Wal.is_input_encoded records.(!cursor) then begin
+      let r =
+        match Wal.decode records.(!cursor) with
+        | r -> r
+        | exception Prelude.Codec.Error msg ->
+            divergence ~seq:!cursor ("undecodable input record: " ^ msg)
+      in
+      (match on_input with
+      | Some f -> f r
+      | None ->
+          divergence ~seq:!cursor
+            (Printf.sprintf
+               "journal holds input record [%s] but this recovery has no input \
+                handler (was the journal written by an admission server? see \
+                docs/SERVER.md)"
+               (Format.asprintf "%a" Wal.pp r)));
+      incr cursor
+    end
+    else if not (Simulator.step ~emit sim) then
+      divergence ~seq:!cursor
+        (Printf.sprintf
+           "journal holds %d records past the end of the replayed simulation (next: [%s])"
+           (n - !cursor) (describe records.(!cursor)))
   done;
-  if !cursor < n then
-    divergence ~seq:!cursor
-      (Printf.sprintf
-         "journal holds %d records past the end of the replayed simulation (next: [%s])"
-         (n - !cursor) (describe records.(!cursor)));
   !cursor - from_

@@ -14,11 +14,18 @@
     [live] (they are new history, to be appended to the journal).
     Returns the number of records validated.
 
+    Input records ({!Wal.Admit}/{!Wal.Inject}) are applied through
+    [on_input] — at exactly the stream position the live run appended
+    them — instead of being matched against re-execution: they carry
+    external submissions {e into} the simulation (docs/SERVER.md).
+
     @raise Journal.Error.Journal_error [Divergence] when a re-derived
-    record differs from the stored bytes, or the log holds records the
-    simulation never produces.
+    record differs from the stored bytes, the log holds records the
+    simulation never produces, or the log holds input records and no
+    [on_input] was supplied.
     @raise Invalid_argument when [from_] is outside [\[0, length\]]. *)
 val replay :
+  ?on_input:(Wal.record -> unit) ->
   Simulator.t ->
   records:string array ->
   from_:int ->

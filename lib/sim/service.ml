@@ -19,9 +19,14 @@ type t = {
   sim : Simulator.t;
   sink : Journal.Sink.t;
   mutable next_gen : int;
+  mutable observer : Wal.record -> unit;
+      (* tap on every record the live event loop appends; the admission
+         front-end (docs/SERVER.md) tracks per-job progress through it *)
 }
 
 let sim t = t.sim
+let set_observer t f = t.observer <- f
+let wal_seq t = Journal.Sink.next_seq t.sink
 
 let write_checkpoint t =
   match Simulator.snapshot t.sim with
@@ -44,12 +49,27 @@ let write_checkpoint t =
    ever covers durable records. *)
 let live_emit t r =
   let (_ : int) = Journal.Sink.append t.sink (Wal.encode r) in
+  t.observer r;
   match r with
   | Wal.Commit { round } ->
       Journal.Sink.commit t.sink;
       if t.checkpoint_every > 0 && round mod t.checkpoint_every = 0 then
         write_checkpoint t
   | _ -> ()
+
+(* Manual append for input records ([Wal.Admit]/[Wal.Inject]): the
+   admission layer writes them through the same sink so they land in
+   stream order with the simulator's own records.  Buffered — call
+   [ack_barrier] before acknowledging anything to a client. *)
+let append t r =
+  let (_ : int) = Journal.Sink.append t.sink (Wal.encode r) in
+  ()
+
+(* WAL-before-ack (docs/SERVER.md): every record appended so far is on
+   disk when this returns, group-commit window notwithstanding. *)
+let ack_barrier t =
+  Journal.Sink.commit t.sink;
+  Journal.Sink.barrier t.sink
 
 (* Group-commit window: one fsync covers the rounds that land within
    20ms of the last sync.  On crash at most that window of committed
@@ -61,12 +81,12 @@ let start ~dir ?(checkpoint_every = 0) ?(fsync_interval_s = default_fsync_interv
     ~header sim =
   mkdir_p dir;
   let sink = Journal.Sink.create ~fsync_interval_s ~path:(wal_path dir) ~header () in
-  { dir; checkpoint_every; sim; sink; next_gen = 0 }
+  { dir; checkpoint_every; sim; sink; next_gen = 0; observer = ignore }
 
 type recovered = { service : t; replayed : int; from_checkpoint : int option }
 
 let recover ~dir ?(checkpoint_every = 0)
-    ?(fsync_interval_s = default_fsync_interval_s) ~rebuild () =
+    ?(fsync_interval_s = default_fsync_interval_s) ?on_input ?observe ~rebuild () =
   let path = wal_path dir in
   let loaded =
     match Journal.Source.load ~path with
@@ -108,8 +128,30 @@ let recover ~dir ?(checkpoint_every = 0)
   let next_gen =
     match Journal.Checkpoint.generations ~dir with [] -> 0 | g :: _ -> g + 1
   in
-  let t = { dir; checkpoint_every; sim; sink; next_gen } in
-  let replayed = Recovery.replay sim ~records:loaded.Journal.Source.records ~from_ ~live:(live_emit t) in
+  let t = { dir; checkpoint_every; sim; sink; next_gen; observer = ignore } in
+  (* Full-log scan for the caller's bookkeeping (admission tables,
+     docs/SERVER.md) — checkpoint-agnostic on purpose: the overlay skips
+     re-execution, not history.  Undecodable records are skipped here;
+     if one matters, replay fails closed on it below. *)
+  (match observe with
+  | None -> ()
+  | Some f ->
+      Array.iter
+        (fun body ->
+          match Wal.decode body with
+          | r -> f r
+          | exception Prelude.Codec.Error _ -> ())
+        loaded.Journal.Source.records);
+  (* Install the observer before replay: a step that crosses the end of
+     the stored log emits new records through [live_emit], and the
+     caller's bookkeeping must see those too — the scan above only
+     covered stored history. *)
+  (match observe with None -> () | Some f -> t.observer <- f);
+  let on_input = Option.map (fun f r -> f sim r) on_input in
+  let replayed =
+    Recovery.replay ?on_input sim ~records:loaded.Journal.Source.records ~from_
+      ~live:(live_emit t)
+  in
   (* First thing after landing: cross-check the restored ledgers against
      the running-task registry before any live decision builds on them. *)
   (match Simulator.ledger_check sim with
@@ -127,13 +169,20 @@ let recover ~dir ?(checkpoint_every = 0)
     from_checkpoint = (if from_ > 0 then Some from_ else None);
   }
 
+(* Stepped execution for callers that interleave the event loop with
+   external input (docs/SERVER.md). *)
+let step t = Simulator.step ~emit:(live_emit t) t.sim
+
+let finish t =
+  Journal.Sink.commit t.sink;
+  Journal.Sink.close t.sink;
+  Simulator.finish t.sim
+
 (* Run to completion.  A [Chaos.Crashed] from an armed crash point
    propagates to the caller with the sink already torn — exactly the
    state a real crash leaves behind. *)
 let run t =
-  while Simulator.step ~emit:(live_emit t) t.sim do
+  while step t do
     ()
   done;
-  Journal.Sink.commit t.sink;
-  Journal.Sink.close t.sink;
-  Simulator.finish t.sim
+  finish t

@@ -24,6 +24,29 @@ type t
 
 val sim : t -> Simulator.t
 
+(** Tap invoked — in order — for every record the live event loop
+    appends (not for {!append}ed input records, whose writer already
+    knows them, nor for records validated during recovery replay; pass
+    [observe] to {!recover} for those).  Replaces any previous
+    observer; the admission front-end (docs/SERVER.md) tracks per-job
+    progress through it. *)
+val set_observer : t -> (Wal.record -> unit) -> unit
+
+(** Next WAL sequence number — the total records appended so far. *)
+val wal_seq : t -> int
+
+(** Append one input record ({!Wal.Admit}/{!Wal.Inject}) through the
+    journal sink, in stream order with the simulator's own records.
+    Buffered, not yet durable: call {!ack_barrier} before acknowledging
+    the admission to a client (WAL-before-ack, docs/SERVER.md). *)
+val append : t -> Wal.record -> unit
+
+(** Durability barrier: every record appended so far — input records
+    included — is on disk when this returns, group-commit window
+    notwithstanding.  The admission server calls it between accepting
+    submissions and acknowledging them. *)
+val ack_barrier : t -> unit
+
 (** [start ~dir ~checkpoint_every ~header sim] begins journaling a fresh
     simulation into [dir] (created if missing).  [header] is the opaque
     spec blob recovery hands back to [rebuild]; [checkpoint_every] <= 0
@@ -49,14 +72,32 @@ type recovered = {
     [rebuild] must reconstruct the {e same} simulation from the spec
     blob that [start] wrote (same seeds, same config) — recovery
     validates rather than trusts it, and fails closed with [Divergence]
-    on any mismatch. *)
+    on any mismatch.
+
+    [on_input] applies input records ({!Wal.Admit}/{!Wal.Inject}) to the
+    rebuilt simulation at their recorded stream positions; without it, a
+    journal holding input records fails closed (see {!Recovery.replay}).
+    [observe] is called once per loaded record — input records and
+    checkpoint-subsumed history included — before replay, so an
+    admission front-end can rebuild its tables (docs/SERVER.md). *)
 val recover :
   dir:string ->
   ?checkpoint_every:int ->
   ?fsync_interval_s:float ->
+  ?on_input:(Simulator.t -> Wal.record -> unit) ->
+  ?observe:(Wal.record -> unit) ->
   rebuild:(string -> Simulator.t) ->
   unit ->
   recovered
+
+(** Process one event under the journal (see {!Simulator.step}); returns
+    [false] once the event queue is empty.  Interleave with {!append}
+    and {!Simulator.inject} to drive the loop from external input. *)
+val step : t -> bool
+
+(** Final fsync, close the journal, finalize metrics.  [run] is exactly
+    {!step} to exhaustion + [finish]. *)
+val finish : t -> Simulator.result
 
 (** Run the simulation to completion under the journal, final fsync
     included.  An armed {!Journal.Chaos} crash point propagates as

@@ -54,7 +54,11 @@ type t = {
   sched : Scheduler_intf.t;
   queue : event Event_queue.t;
   metrics : Metrics.t;
-  hard_end : float;
+  mutable hard_end : float;
+      (* scheduling horizon: last arrival + drain.  Mutable because
+         externally injected submissions ([inject], docs/SERVER.md)
+         extend it — an open-ended admission server has no static last
+         arrival. *)
   mutable round_armed : bool;
   mutable events : int;
   mutable now : float;
@@ -534,6 +538,19 @@ let now t = t.now
 let events_processed t = t.events
 let rounds t = t.rounds
 let metrics t = t.metrics
+let quiescent t = Event_queue.is_empty t.queue
+
+(* External submission (admission front-end, docs/SERVER.md): queue an
+   arrival the static spec knows nothing about and push the scheduling
+   horizon out past it.  Callers must only inject between [step]s and at
+   non-decreasing times — the journal replays injections at their
+   recorded positions, so the live order is the replayed order. *)
+let inject t ~time poly =
+  if not (Float.is_finite time) then invalid_arg "Simulator.inject: non-finite time";
+  if time < t.now then invalid_arg "Simulator.inject: time precedes simulated now";
+  t.hard_end <- Float.max t.hard_end (time +. t.config.drain);
+  Event_queue.push t.queue ~time
+    (Arrival { poly with Poly_req.arrival = time })
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore (journal checkpoints, docs/JOURNAL.md)           *)
@@ -587,6 +604,9 @@ let snapshot t =
   | Some persist ->
       let e = Enc.create () in
       Enc.f64 e t.now;
+      (* Dynamic since [inject]: a rebuilt world derives the horizon
+         from the static arrivals only, so the snapshot must carry it. *)
+      Enc.f64 e t.hard_end;
       Enc.uint e t.events;
       Enc.uint e t.rounds;
       Enc.uint e t.next_token;
@@ -642,6 +662,7 @@ let restore t blob =
   in
   let d = Dec.of_string blob in
   t.now <- Dec.f64 d;
+  t.hard_end <- Dec.f64 d;
   t.events <- Dec.uint d;
   t.rounds <- Dec.uint d;
   t.next_token <- Dec.uint d;

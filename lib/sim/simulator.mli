@@ -97,6 +97,21 @@ val finish : t -> result
 val now : t -> float
 val events_processed : t -> int
 
+(** True when the event queue is empty (the next {!step} would return
+    [false]). *)
+val quiescent : t -> bool
+
+(** [inject t ~time poly] queues an externally submitted job — one the
+    static arrival stream knows nothing about — as an arrival at
+    simulated time [time], rewriting [poly.arrival] to [time] and
+    extending the scheduling horizon past it (admission front-end,
+    docs/SERVER.md).  Only call between {!step}s, with non-decreasing
+    times: journal recovery re-applies injections at their recorded
+    stream positions, so the live interleaving must be reproducible.
+    @raise Invalid_argument on a non-finite [time] or one before
+    {!now}. *)
+val inject : t -> time:float -> Hire.Poly_req.t -> unit
+
 (** Scheduling rounds executed so far (= the [round] field of the last
     {!Wal.Round} record). *)
 val rounds : t -> int

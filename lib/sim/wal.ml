@@ -17,6 +17,21 @@ type record =
   | Requeue of { time : float; tg_id : int; lost : int; attempt : int; retry_time : float }
   | Fault_cancel of { time : float; tg_id : int; lost : int }
   | Node_recover of { time : float; node : int; downtime_s : float }
+  | Admit of { admit_id : int; client : string; poly : Hire.Poly_req.t }
+  | Inject of { time : float; admit_ids : int list }
+
+(* Input records carry external submissions into the simulation; replay
+   applies them rather than re-deriving them (docs/SERVER.md). *)
+let is_input = function Admit _ | Inject _ -> true | _ -> false
+
+let admit_tag = 9
+let inject_tag = 10
+
+let is_input_encoded body =
+  String.length body > 0
+  &&
+  let b = Char.code body.[0] in
+  b = admit_tag || b = inject_tag
 
 let enc_pair e (a, b) =
   Enc.int e a;
@@ -76,7 +91,16 @@ let encode r =
       Enc.byte e 8;
       Enc.f64 e time;
       Enc.int e node;
-      Enc.f64 e downtime_s);
+      Enc.f64 e downtime_s
+  | Admit { admit_id; client; poly } ->
+      Enc.byte e admit_tag;
+      Enc.uint e admit_id;
+      Enc.string e client;
+      Hire.Persist.enc_poly e poly
+  | Inject { time; admit_ids } ->
+      Enc.byte e inject_tag;
+      Enc.f64 e time;
+      Enc.list e Enc.uint admit_ids);
   Enc.to_string e
 
 let decode_body d =
@@ -128,6 +152,15 @@ let decode_body d =
       let node = Dec.int d in
       let downtime_s = Dec.f64 d in
       Node_recover { time; node; downtime_s }
+  | 9 ->
+      let admit_id = Dec.uint d in
+      let client = Dec.string d in
+      let poly = Hire.Persist.dec_poly d in
+      Admit { admit_id; client; poly }
+  | 10 ->
+      let time = Dec.f64 d in
+      let admit_ids = Dec.list d Dec.uint in
+      Inject { time; admit_ids }
   | b -> raise (Prelude.Codec.Error (Printf.sprintf "Wal: unknown record tag %d" b))
 
 let decode body =
@@ -147,6 +180,8 @@ let kind = function
   | Requeue _ -> "requeue"
   | Fault_cancel _ -> "fault_cancel"
   | Node_recover _ -> "node_recover"
+  | Admit _ -> "admit"
+  | Inject _ -> "inject"
 
 let pp fmt = function
   | Submit { time; job_id } -> Format.fprintf fmt "submit t=%.6f job=%d" time job_id
@@ -168,3 +203,10 @@ let pp fmt = function
       Format.fprintf fmt "fault_cancel t=%.6f tg=%d lost=%d" time tg_id lost
   | Node_recover { time; node; downtime_s } ->
       Format.fprintf fmt "node_recover t=%.6f node=%d downtime=%.3f" time node downtime_s
+  | Admit { admit_id; client; poly } ->
+      Format.fprintf fmt "admit id=%d client=%S job=%d tgs=%d" admit_id client
+        poly.Hire.Poly_req.job_id
+        (List.length poly.Hire.Poly_req.task_groups)
+  | Inject { time; admit_ids } ->
+      Format.fprintf fmt "inject t=%.6f ids=[%s]" time
+        (String.concat "," (List.map string_of_int admit_ids))

@@ -34,6 +34,27 @@ type record =
   | Requeue of { time : float; tg_id : int; lost : int; attempt : int; retry_time : float }
   | Fault_cancel of { time : float; tg_id : int; lost : int }
   | Node_recover of { time : float; node : int; downtime_s : float }
+  | Admit of { admit_id : int; client : string; poly : Hire.Poly_req.t }
+      (** an externally submitted job accepted by the admission front-end
+          (docs/SERVER.md), journaled — and made durable — {e before} the
+          acceptance is acknowledged to the client (WAL-before-ack).
+          [client] is the submitter's optional idempotency key ([""]
+          when absent); [poly.arrival] is a placeholder until the job is
+          injected. *)
+  | Inject of { time : float; admit_ids : int list }
+      (** an admission batch handed to the scheduler: the listed admitted
+          jobs enter the event loop as arrivals at simulated time
+          [time].  Admitted ids that appear in no [Inject] record are
+          the accepted-but-unplaced queue a crashed server recovers. *)
+
+(** Input records ([Admit]/[Inject]) carry external submissions {e into}
+    the simulation; recovery applies them instead of validating them
+    against re-execution (every other record is an output the replayed
+    simulator must re-derive byte for byte). *)
+val is_input : record -> bool
+
+(** {!is_input} on an encoded record without decoding it. *)
+val is_input_encoded : string -> bool
 
 (** Canonical binary encoding of one record. *)
 val encode : record -> string

@@ -296,6 +296,25 @@ let test_checkpoint_roundtrip_and_fallback () =
 (* ------------------------------------------------------------------ *)
 
 let test_wal_record_roundtrip () =
+  (* A realistic PolyReq payload for the Admit record: produced by the
+     actual translation path, so the codec is exercised on the same
+     shapes the admission server journals (docs/SERVER.md). *)
+  let poly =
+    let store = Hire.Comp_store.default () in
+    let job =
+      {
+        Workload.Job.id = 1_000_000_007;
+        arrival = 0.0;
+        priority = Workload.Job.Batch;
+        groups =
+          [ { Workload.Job.tg_index = 0; count = 2; cpu = 1.0; mem = 2.0; duration = 10.0 } ];
+      }
+    in
+    let ids = Hire.Transformer.Id_gen.create ~first:1_000_000_448 () in
+    Hire.Transformer.transform store ids (Prelude.Rng.create 42)
+      ~job_id:1_000_000_007 ~arrival:0.0
+      (Hire.Comp_req.of_job job)
+  in
   let records =
     [
       Sim.Wal.Submit { time = 1.5; job_id = 7 };
@@ -314,8 +333,19 @@ let test_wal_record_roundtrip () =
       Sim.Wal.Requeue { time = 6.0; tg_id = 2; lost = 3; attempt = 1; retry_time = 7.5 };
       Sim.Wal.Fault_cancel { time = 8.0; tg_id = 4; lost = 1 };
       Sim.Wal.Node_recover { time = 9.0; node = 17; downtime_s = 4.0 };
+      Sim.Wal.Admit { admit_id = 7; client = "bench-7"; poly };
+      Sim.Wal.Admit { admit_id = 8; client = ""; poly };
+      Sim.Wal.Inject { time = 2.5; admit_ids = [ 0; 1; 5 ] };
+      Sim.Wal.Inject { time = 3.5; admit_ids = [] };
     ]
   in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "is_input agrees with is_input_encoded: %s" (Sim.Wal.kind r))
+        (Sim.Wal.is_input r)
+        (Sim.Wal.is_input_encoded (Sim.Wal.encode r)))
+    records;
   List.iter
     (fun r ->
       let b = Sim.Wal.encode r in
