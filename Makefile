@@ -65,7 +65,10 @@ bench-server:
 # (journal.torn_tail), replayed, and finished byte-identical to an
 # uninterrupted run (docs/JOURNAL.md), and that the admission server
 # (docs/SERVER.md) serves a submit/drain/shutdown session over its Unix
-# socket and fails fast with a one-line error on an unusable state dir.
+# socket and fails fast with a one-line error on an unusable state dir,
+# and that a serve session under an injected fsync failure
+# (docs/FAILPOINTS.md) logs the armed schedule, enters degraded mode,
+# heals back to healthy, and still completes the client session.
 check: lint-compare
 	dune build
 	dune runtest
@@ -141,6 +144,24 @@ check: lint-compare
 	@test -s /tmp/hire_check_server/server.csv || \
 		{ echo "check: FAIL (serve-mode CSV missing)"; exit 1; }
 	rm -rf /tmp/hire_check_server /tmp/hire_check_server.log
+	rm -rf /tmp/hire_check_failpt
+	@HIRE_FAILPOINTS='seed=1;journal.fsync=1*eio' \
+	./_build/default/bin/hire_service.exe --serve --state-dir /tmp/hire_check_failpt \
+		-k 4 --horizon 0 --seed 1 --round-interval 0.2 \
+		> /tmp/hire_check_failpt.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 100); do test -S /tmp/hire_check_failpt/server.sock && break; sleep 0.1; done; \
+	./_build/default/bin/hire_client.exe --socket /tmp/hire_check_failpt/server.sock \
+		--submit 3 --client-prefix fp --retries 8 --drain --shutdown > /dev/null \
+		|| { echo "check: FAIL (client session through failpoints failed)"; kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid || { echo "check: FAIL (failpoint server exited non-zero)"; cat /tmp/hire_check_failpt.log; exit 1; }
+	@grep -q 'fault injection armed: failpoints seed=1' /tmp/hire_check_failpt.log || \
+		{ echo "check: FAIL (armed-failpoints startup line missing)"; cat /tmp/hire_check_failpt.log; exit 1; }
+	@grep -q '^degraded: shedding submissions after storage failure' /tmp/hire_check_failpt.log || \
+		{ echo "check: FAIL (degraded-mode entry line missing)"; cat /tmp/hire_check_failpt.log; exit 1; }
+	@grep -q '^healthy: storage writes succeed again' /tmp/hire_check_failpt.log || \
+		{ echo "check: FAIL (degraded-mode exit line missing)"; cat /tmp/hire_check_failpt.log; exit 1; }
+	rm -rf /tmp/hire_check_failpt /tmp/hire_check_failpt.log
 	@echo "check: OK"
 
 # odoc is optional in this environment; the lib/obs dune env marks its

@@ -167,6 +167,7 @@ let run jobs conns seed out state_dir =
   let all_recovered =
     List.for_all (fun id -> Admission.status engine id <> None) !crash_ids
   in
+  let st = Admission.stats engine in
   let (_ : Sim.Simulator.result) = Admission.finish engine in
 
   let ok = all_recovered && !acked = jobs && elapsed > 0.0 in
@@ -185,6 +186,9 @@ let run jobs conns seed out state_dir =
         ("replayed", Json.Num (float_of_int r.Admission.replayed));
         ("recovery_s", Json.Num recovery_s);
         ("all_acked_recovered", Json.Bool all_recovered);
+        ("degraded", Json.Bool st.Admission.degraded_now);
+        ("degraded_rejects", Json.Num (float_of_int st.Admission.degraded_rejects));
+        ("io_errors", Json.Num (float_of_int st.Admission.io_errors));
         ("ok", Json.Bool ok);
       ]
   in

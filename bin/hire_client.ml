@@ -2,9 +2,17 @@
    Connects over the Unix-domain (or TCP) socket, speaks one JSON
    request per line, prints each response line to stdout.  Exit status
    1 on a transport failure or any ["ok": false] response — scripts
-   (make check, the CI server leg) branch on it. *)
+   (make check, the CI server leg) branch on it.
 
-let connect socket tcp =
+   Every socket operation is deadline-bounded (--connect-timeout,
+   --io-timeout): a stalled or dead server surfaces as a one-line
+   ETIMEDOUT on stderr instead of a hang.  With --retries N, transport
+   failures and retriable "degraded" responses (docs/FAILPOINTS.md) are
+   retried up to N times under jittered exponential backoff, resending
+   the same request line — safe for submissions exactly when they carry
+   idempotency keys (--client-prefix), which the server dedups. *)
+
+let resolve_addr socket tcp =
   match tcp with
   | Some hostport -> (
       match String.index_opt hostport ':' with
@@ -19,49 +27,126 @@ let connect socket tcp =
             | Some p -> p
             | None -> failwith "expected HOST:PORT for --tcp"
           in
-          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-          fd)
-  | None ->
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX socket);
-      fd
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  | None -> Unix.ADDR_UNIX socket
 
-(* Blocking line-oriented transport: one request out, one response in. *)
-let send_line fd line =
+(* Readiness gate: every read/write waits here first so no syscall can
+   block past the deadline. *)
+let wait_fd fd ~read ~timeout ~op =
+  let rd, wr = if read then ([ fd ], []) else ([], [ fd ]) in
+  match Unix.select rd wr [] timeout with
+  | [], [], [] -> raise (Unix.Unix_error (Unix.ETIMEDOUT, op, ""))
+  | _ -> ()
+
+(* Non-blocking connect + select so a dead TCP peer (or a full Unix
+   socket backlog) times out instead of hanging in the syscall. *)
+let connect_with_timeout addr ~timeout =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try
+     (match Unix.connect fd addr with
+     | () -> ()
+     | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+       -> (
+         (match Unix.select [] [ fd ] [] timeout with
+         | [], [], [] -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+         | _ -> ());
+         match Unix.getsockopt_error fd with
+         | None -> ()
+         | Some e -> raise (Unix.Unix_error (e, "connect", ""))));
+     Unix.clear_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+type session = {
+  mutable fd : Unix.file_descr;
+  buf : Buffer.t;
+  addr : Unix.sockaddr;
+  connect_timeout : float;
+  io_timeout : float;
+  retries : int;
+  rng : Prelude.Rng.t;  (* backoff jitter *)
+}
+
+let session_connect s = s.fd <- connect_with_timeout s.addr ~timeout:s.connect_timeout
+
+(* Deadline-bounded line-oriented transport: one request out, one
+   response in. *)
+let send_line s line =
   let data = line ^ "\n" in
   let len = String.length data in
   let rec write off =
-    if off < len then write (off + Unix.write_substring fd data off (len - off))
+    if off < len then begin
+      wait_fd s.fd ~read:false ~timeout:s.io_timeout ~op:"write";
+      write (off + Unix.write_substring s.fd data off (len - off))
+    end
   in
   write 0
 
-let recv_line fd buf =
+let recv_line s =
   let chunk = Bytes.create 4096 in
   let rec read () =
-    match String.index_opt (Buffer.contents buf) '\n' with
+    match String.index_opt (Buffer.contents s.buf) '\n' with
     | Some i ->
-        let all = Buffer.contents buf in
+        let all = Buffer.contents s.buf in
         let line = String.sub all 0 i in
-        Buffer.clear buf;
-        Buffer.add_substring buf all (i + 1) (String.length all - i - 1);
+        Buffer.clear s.buf;
+        Buffer.add_substring s.buf all (i + 1) (String.length all - i - 1);
         line
     | None ->
-        let n = Unix.read fd chunk 0 4096 in
+        wait_fd s.fd ~read:true ~timeout:s.io_timeout ~op:"read";
+        let n = Unix.read s.fd chunk 0 4096 in
         if n = 0 then failwith "server closed the connection";
-        Buffer.add_subbytes buf chunk 0 n;
+        Buffer.add_subbytes s.buf chunk 0 n;
         read ()
   in
   read ()
 
-(* One round trip; returns false when the server said ["ok": false]. *)
-let roundtrip fd buf line =
-  send_line fd line;
-  let resp = recv_line fd buf in
-  print_endline resp;
+let backoff_sleep s k =
+  let d =
+    Float.min 2.0 (0.2 *. (2.0 ** float_of_int k))
+    *. (0.5 +. Prelude.Rng.float s.rng 1.0)
+  in
+  Unix.sleepf d
+
+let retriable resp =
   match Server.Json.parse resp with
-  | Ok v -> Server.Json.member "ok" v = Some (Server.Json.Bool true)
+  | Ok v -> Server.Json.member "retriable" v = Some (Server.Json.Bool true)
   | Error _ -> false
+
+(* One request, up to [retries] re-sends; returns false when the final
+   response said ["ok": false].  A transport failure reconnects before
+   the retry; a retriable "degraded" response just backs off — both
+   resend the identical line, so idempotency keys make submissions
+   converge on their original admission id. *)
+let roundtrip s line =
+  let rec attempt k =
+    match
+      send_line s line;
+      recv_line s
+    with
+    | resp ->
+        print_endline resp;
+        if retriable resp && k < s.retries then begin
+          backoff_sleep s k;
+          attempt (k + 1)
+        end
+        else begin
+          match Server.Json.parse resp with
+          | Ok v -> Server.Json.member "ok" v = Some (Server.Json.Bool true)
+          | Error _ -> false
+        end
+    | exception ((Unix.Unix_error _ | Failure _) as e) ->
+        if k >= s.retries then raise e;
+        (try Unix.close s.fd with Unix.Unix_error _ -> ());
+        Buffer.clear s.buf;
+        backoff_sleep s k;
+        session_connect s;
+        attempt (k + 1)
+  in
+  attempt 0
 
 (* Synthetic submissions, deterministic from the seed: small jobs in
    the trace generator's shape so the server-side translation exercises
@@ -95,11 +180,22 @@ let synth_spec rng inc client_prefix i =
   in
   { Server.Protocol.priority; groups; inc; client_id }
 
-let run socket tcp submit seed inc client_prefix status stats drain shutdown raw =
-  let fd = connect socket tcp in
-  let buf = Buffer.create 256 in
+let run socket tcp submit seed inc client_prefix status stats drain shutdown raw
+    connect_timeout io_timeout retries =
+  let s =
+    {
+      fd = Unix.stdin;
+      buf = Buffer.create 256;
+      addr = resolve_addr socket tcp;
+      connect_timeout;
+      io_timeout;
+      retries;
+      rng = Prelude.Rng.create (seed lxor 0xbac0ff);
+    }
+  in
+  session_connect s;
   let ok = ref true in
-  let step line = if not (roundtrip fd buf line) then ok := false in
+  let step line = if not (roundtrip s line) then ok := false in
   let rng = Prelude.Rng.create seed in
   for i = 0 to submit - 1 do
     step (Server.Protocol.render_submit (synth_spec rng inc client_prefix i))
@@ -119,7 +215,7 @@ let run socket tcp submit seed inc client_prefix status stats drain shutdown raw
   if shutdown then
     step
       (Server.Json.to_string (Server.Json.Obj [ ("op", Server.Json.Str "shutdown") ]));
-  Unix.close fd;
+  Unix.close s.fd;
   if not !ok then exit 1
 
 open Cmdliner
@@ -176,6 +272,23 @@ let raw =
   let doc = "Send $(docv) verbatim as one request line (repeatable)." in
   Arg.(value & opt_all string [] & info [ "raw" ] ~docv:"LINE" ~doc)
 
+let connect_timeout =
+  let doc = "Seconds to wait for the connection to establish." in
+  Arg.(value & opt float 5.0 & info [ "connect-timeout" ] ~docv:"SECONDS" ~doc)
+
+let io_timeout =
+  let doc = "Seconds to wait for each read/write against the server." in
+  Arg.(value & opt float 10.0 & info [ "io-timeout" ] ~docv:"SECONDS" ~doc)
+
+let retries =
+  let doc =
+    "Retry transport failures and retriable (degraded-server) responses up to \
+     $(docv) times with jittered exponential backoff, resending the same line. \
+     Give submissions idempotency keys (--client-prefix) so retries cannot \
+     double-admit."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "submit jobs to a running admission server" in
   let man =
@@ -193,7 +306,7 @@ let cmd =
     (Cmd.info "hire_client" ~version:"1.0" ~doc ~man)
     Term.(
       const run $ socket $ tcp $ submit $ seed $ inc $ client_prefix $ status $ stats
-      $ drain $ shutdown $ raw)
+      $ drain $ shutdown $ raw $ connect_timeout $ io_timeout $ retries)
 
 let () =
   try exit (Cmd.eval ~catch:false cmd) with

@@ -24,16 +24,39 @@ let parse_crash_at s =
       ( int_of_string (String.sub s 0 i),
         Some (int_of_string (String.sub s (i + 1) (String.length s - i - 1))) )
 
+(* One startup line enumerating every armed fault-injection knob
+   (docs/FAILPOINTS.md): operators reading a failure log should never
+   have to guess whether faults were injected or real. *)
+let log_armed_faults () =
+  let knobs =
+    List.filter_map Fun.id
+      [
+        (match Failpt.describe () with
+        | "" -> None
+        | d -> Some ("failpoints " ^ d));
+        (match Journal.Chaos.crash_at () with
+        | None -> None
+        | Some seq -> Some (Printf.sprintf "crash-at seq=%d" seq));
+        (match Flow.Chaos.seed () with
+        | None -> None
+        | Some seed -> Some (Printf.sprintf "solver-chaos seed=%d" seed));
+      ]
+  in
+  if knobs <> [] then
+    Printf.printf "fault injection armed: %s\n%!" (String.concat "; " knobs)
+
 let run state_dir checkpoint_every recover crash_at scheduler mu k horizon seed setup util
     fraction faults_on mtbf mttr max_retries csv obs_summary serve socket tcp
-    round_interval max_batch max_pending =
+    round_interval max_batch max_pending io_timeout =
   if obs_summary then Obs.set_enabled true;
   Journal.Chaos.init_env ();
+  Failpt.init_env ();
   (match crash_at with
   | None -> ()
   | Some s ->
       let crash_at, tear = parse_crash_at s in
       Journal.Chaos.arm ~crash_at ?tear ());
+  log_armed_faults ();
   let dir = Filename.concat state_dir journal_subdir in
   let setup =
     match setup with
@@ -132,7 +155,9 @@ let run state_dir checkpoint_every recover crash_at scheduler mu k horizon seed 
       (match listen with
       | Server.Net.Unix_sock p -> Printf.printf "listening on %s\n%!" p
       | Server.Net.Tcp (h, p) -> Printf.printf "listening on %s:%d\n%!" h p);
-      let result = Server.Net.serve ~engine ~listen ~tick_interval:round_interval () in
+      let result =
+        Server.Net.serve ~engine ~listen ~tick_interval:round_interval ~io_timeout ()
+      in
       (result, Server.Admission.spec engine)
     end
     else begin
@@ -328,6 +353,15 @@ let max_pending =
   in
   Arg.(value & opt int 1024 & info [ "max-pending" ] ~docv:"N" ~doc)
 
+let io_timeout =
+  let doc =
+    "Containment deadline of $(b,--serve), seconds: a connection that takes \
+     longer than $(docv) to finish a started request line (slow-loris) or to \
+     accept a queued reply (stalled reader) is closed and counted as \
+     $(i,server.conn_timeouts)."
+  in
+  Arg.(value & opt float 30.0 & info [ "io-timeout" ] ~docv:"SECONDS" ~doc)
+
 let cmd =
   let doc = "run one scheduling experiment under a crash-recoverable journal" in
   let man =
@@ -349,7 +383,7 @@ let cmd =
       const run $ state_dir $ checkpoint_every $ recover $ crash_at $ scheduler $ mu $ k
       $ horizon $ seed $ setup $ util $ fraction $ faults_flag $ mtbf $ mttr $ max_retries
       $ csv $ obs_summary $ serve $ socket $ tcp $ round_interval $ max_batch
-      $ max_pending)
+      $ max_pending $ io_timeout)
 
 (* Error convention shared with hire_sim: one line on stderr, exit 1 —
    bad flags, unreadable state directories, and journal failures all

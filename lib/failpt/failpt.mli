@@ -1,0 +1,74 @@
+(** Seeded, named failpoint registry (docs/FAILPOINTS.md).
+
+    A failpoint is a named site in the durability or network stack
+    ([journal.write], [net.accept], ...) where a fault can be injected
+    deterministically: the site calls {!eval} on its hot path and acts
+    on the returned {!outcome}, exactly as it would on the real error.
+    Sites cost one list lookup when the registry is armed and one
+    [ref]-load branch when it is not, so production paths stay free.
+
+    Activation follows the same convention as [HIRE_CHAOS]
+    ([Flow.Chaos]) and [HIRE_CRASH_AT] ([Journal.Chaos]): a single
+    environment variable resolved lazily on first use, a seed, and
+    per-site named RNG streams so one site's draw sequence depends only
+    on how many times {e that site} was evaluated.  Tests pin the
+    registry programmatically with {!activate}/{!set}.
+
+    {2 Grammar}
+
+    {[ HIRE_FAILPOINTS="seed=42;journal.fsync=1*eio;net.write=25%3*short(1)" ]}
+
+    Terms are separated by [;] (or [,]).  [seed=N] seeds every site
+    stream (default 0).  Every other term is [site=spec] with
+
+    {[ spec ::= "off" | [P%][N*]action[(arg)] ]}
+
+    [P%] fires with probability [P/100] per evaluation (default:
+    always); [N*] fires at most [N] times, then the site goes quiet
+    (default: unlimited).  Actions: [enospc] [eio] [epipe] [econnreset]
+    [econnaborted] [emfile] [etimedout] (POSIX errors), [short(k)]
+    (write only [k] bytes, then fail), [delay(s)] (sleep [s] seconds),
+    [off]. *)
+
+(** What an armed site tells its caller to do. *)
+type outcome =
+  | Errno of Unix.error  (** fail as if the syscall returned this errno *)
+  | Short of int  (** land only [k] bytes of the write, then fail *)
+  | Delay of float  (** stall for [s] seconds, then proceed normally *)
+
+(** Arm the registry programmatically (clears every site). *)
+val activate : seed:int -> unit
+
+(** Disarm every site; {!eval} returns [None] everywhere. *)
+val deactivate : unit -> unit
+
+val enabled : unit -> bool
+
+(** Parse a full [HIRE_FAILPOINTS]-shaped value into the registry.
+    @raise Invalid_argument on an unparseable term. *)
+val load : string -> unit
+
+(** Resolve [HIRE_FAILPOINTS] from the environment now (no-op when
+    unset; the registry also resolves lazily on first {!eval}).
+    @raise Invalid_argument on an unparseable value. *)
+val init_env : unit -> unit
+
+(** [set site spec] arms one site from a [spec] term (see grammar);
+    ["off"] is equivalent to {!clear}.  Activates the registry with
+    seed 0 if nothing is armed yet.
+    @raise Invalid_argument on an unparseable spec. *)
+val set : string -> string -> unit
+
+val clear : string -> unit
+
+(** [eval site] draws this site's next decision: [None] (proceed) or
+    the armed {!outcome}.  Counts [failpt.fired] when armed sites fire
+    and observability is on. *)
+val eval : string -> outcome option
+
+(** One-line description of the armed registry for startup logs:
+    ["seed=42 journal.fsync=1*eio ..."]; [""] when disarmed. *)
+val describe : unit -> string
+
+(** Sites currently armed (spec not exhausted), sorted by name. *)
+val armed_sites : unit -> string list

@@ -28,7 +28,11 @@ let fsync_dir dir =
 
 (* [fsync:false] (the default) leaves durability to the page cache: a
    checkpoint lost or torn by a crash fails its CRC and {!latest} falls
-   back, so only recovery speed is at stake, never correctness. *)
+   back, so only recovery speed is at stake, never correctness.  A
+   failed write — real or injected through the [checkpoint.write]
+   failpoint — removes the temporary file and raises {!Error.Io}; the
+   rename-into-place protocol means no reader ever saw it, so callers
+   may simply skip the checkpoint ({!Sim.Service} does). *)
 let write ?(fsync = false) ~dir ~gen ~upto_seq blob =
   let t0 = if Obs.enabled () then Clock.now () else 0.0 in
   let e = Codec.Enc.create ~initial:(String.length blob + 32) () in
@@ -39,13 +43,32 @@ let write ?(fsync = false) ~dir ~gen ~upto_seq blob =
   Buffer.add_string buf magic;
   Frame.put_u32 buf version;
   Buffer.add_string buf (Frame.encode_payload (Codec.Enc.to_string e));
+  let data = Buffer.contents buf in
   let tmp = Filename.concat dir (Printf.sprintf ".checkpoint-%08d.tmp" gen) in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Sink.write_all fd (Buffer.contents buf);
-  if fsync then Unix.fsync fd;
-  Unix.close fd;
-  (* rename-into-place: readers only ever see absent or whole files. *)
-  Sys.rename tmp (path_of ~dir gen);
+  let io_fail ~op error =
+    (try Sys.remove tmp with Sys_error _ -> ());
+    if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter "journal.io_errors");
+    Error.raise_ (Error.Io { path = tmp; op; error })
+  in
+  (try
+     let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+       (fun () ->
+         (match Failpt.eval "checkpoint.write" with
+         | Some (Failpt.Errno e) -> raise (Unix.Unix_error (e, "write", tmp))
+         | Some (Failpt.Short k) ->
+             Sink.write_all fd (String.sub data 0 (min k (String.length data)));
+             raise (Unix.Unix_error (Unix.ENOSPC, "write", tmp))
+         | Some (Failpt.Delay s) -> Unix.sleepf s
+         | None -> ());
+         Sink.write_all fd data;
+         if fsync then Unix.fsync fd);
+     (* rename-into-place: readers only ever see absent or whole files. *)
+     Sys.rename tmp (path_of ~dir gen)
+   with
+  | Unix.Unix_error (e, op, _) -> io_fail ~op e
+  | Sys_error _ -> io_fail ~op:"rename" Unix.EIO);
   if fsync then fsync_dir dir;
   if Obs.enabled () then begin
     Obs.Registry.incr (Obs.Registry.counter "journal.checkpoints");

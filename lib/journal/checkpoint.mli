@@ -19,7 +19,11 @@
 
 type loaded = { gen : int; upto_seq : int; blob : string }
 
-(** Atomic write of generation [gen]. *)
+(** Atomic write of generation [gen].  Raises {!Error.Io} when the
+    write fails (ENOSPC, EIO, a short write — real or injected via the
+    [checkpoint.write] failpoint, docs/FAILPOINTS.md); the temporary
+    file is removed and no reader ever saw a partial checkpoint, so
+    callers may skip the snapshot and retry at the next cadence. *)
 val write : ?fsync:bool -> dir:string -> gen:int -> upto_seq:int -> string -> unit
 
 (** Newest checkpoint that loads cleanly (magic, version, CRC); corrupt

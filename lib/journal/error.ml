@@ -8,6 +8,7 @@ type t =
   | Corrupt_record of { path : string; seq : int; offset : int; reason : string }
   | Duplicate_seq of { path : string; seq : int; offset : int }
   | Divergence of { seq : int; detail : string }
+  | Io of { path : string; op : string; error : Unix.error }
   | State of string
 
 exception Journal_error of t
@@ -31,6 +32,8 @@ let pp fmt = function
   | Divergence { seq; detail } ->
       Format.fprintf fmt
         "journal: replay diverged from the stored record at seq %d (%s)" seq detail
+  | Io { path; op; error } ->
+      Format.fprintf fmt "journal: %s: %s failed: %s" path op (Unix.error_message error)
   | State msg -> Format.fprintf fmt "journal: %s" msg
 
 let to_string e = Format.asprintf "%a" pp e

@@ -23,6 +23,12 @@ type t =
   | Divergence of { seq : int; detail : string }
       (** deterministic replay re-derived a record that differs from the
           stored bytes *)
+  | Io of { path : string; op : string; error : Unix.error }
+      (** a write-side syscall failed (ENOSPC, EIO, a short write, a
+          failed fsync — real or injected via [Failpt], docs/FAILPOINTS.md).
+          Retryable: {!Sink} has already truncated the file back to its
+          last durable frame boundary and kept the unsynced frames
+          buffered, so the next {!Sink.barrier} retries them in order *)
   | State of string  (** journal-directory misuse (see {!Sink}/{!Service}) *)
 
 exception Journal_error of t

@@ -6,10 +6,13 @@ let version = 1
 type t = {
   fd : Unix.file_descr;
   path : string;
-  (* Framed records accumulate here and hit the fd in one write per
-     group-commit sync; an injected crash ({!Chaos}) flushes the whole
-     frames first so the tear lands exactly where a real kill would
-     leave it. *)
+  (* Framed records accumulate here and stay buffered until a sync
+     {e fully succeeds} — write + fsync.  On any I/O failure (real or a
+     {!Failpt} injection) the file is truncated back to [synced_end]
+     and the frames are kept, so a retry rewrites them in order and the
+     healed file is byte-identical to a failure-free run.  An injected
+     crash ({!Chaos}) flushes the whole frames first so the tear lands
+     exactly where a real kill would leave it. *)
   buf : Buffer.t;
   (* Group-commit window: a {!commit} inside the window defers the
      fsync to a later commit (or {!barrier}/{!close}) so one device
@@ -19,6 +22,9 @@ type t = {
   mutable last_sync : float;
   mutable deferred : bool;  (* committed records awaiting their fsync *)
   mutable next_seq : int;
+  (* Bytes known durable, always a frame boundary: everything at or
+     past this offset is still in [buf] and is rewritten on retry. *)
+  mutable synced_end : int;
   mutable closed : bool;
 }
 
@@ -40,9 +46,11 @@ let create ?(fsync_interval_s = 0.0) ~path ~header () =
   if Sys.file_exists path then
     Error.raise_ (Error.State (Printf.sprintf "%s already exists (use recovery)" path));
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 in
-  write_all fd (preamble header);
+  let pre = preamble header in
+  write_all fd pre;
   { fd; path; buf = Buffer.create 8192; fsync_interval_s;
-    last_sync = Clock.now (); deferred = false; next_seq = 0; closed = false }
+    last_sync = Clock.now (); deferred = false; next_seq = 0;
+    synced_end = String.length pre; closed = false }
 
 (* Reopen after recovery: [valid_end] is the end of the last whole
    record {!Source} scanned; anything past it (the torn tail) is cut
@@ -52,24 +60,56 @@ let open_append ?(fsync_interval_s = 0.0) ~path ~valid_end ~next_seq () =
   Unix.ftruncate fd valid_end;
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   { fd; path; buf = Buffer.create 8192; fsync_interval_s;
-    last_sync = Clock.now (); deferred = false; next_seq; closed = false }
+    last_sync = Clock.now (); deferred = false; next_seq;
+    synced_end = valid_end; closed = false }
 
 let next_seq t = t.next_seq
+let durable_end t = t.synced_end
 
-let flush t =
-  if Buffer.length t.buf > 0 then begin
-    write_all t.fd (Buffer.contents t.buf);
-    Buffer.clear t.buf
-  end
+(* A failed write or fsync leaves the on-disk suffix unknown: fall all
+   the way back to the last durable frame boundary and keep the frames
+   buffered for the retry.  After this, the file never holds a frame
+   the sink has acknowledged losing — an ack can only ever follow a
+   sync that returned. *)
+let io_fail t ~op error =
+  (try Unix.ftruncate t.fd t.synced_end with Unix.Unix_error _ -> ());
+  (try ignore (Unix.lseek t.fd 0 Unix.SEEK_END) with Unix.Unix_error _ -> ());
+  if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter "journal.io_errors");
+  Error.raise_ (Error.Io { path = t.path; op; error })
+
+let write_frames t data =
+  match Failpt.eval "journal.write" with
+  | Some (Failpt.Errno e) -> io_fail t ~op:"write" e
+  | Some (Failpt.Short k) ->
+      (* A short write: [k] bytes land, then the device is full. *)
+      (try write_all t.fd (String.sub data 0 (min k (String.length data)))
+       with Unix.Unix_error _ -> ());
+      io_fail t ~op:"write" Unix.ENOSPC
+  | (Some (Failpt.Delay _) | None) as o ->
+      (match o with Some (Failpt.Delay s) -> Unix.sleepf s | _ -> ());
+      (try write_all t.fd data with Unix.Unix_error (e, _, _) -> io_fail t ~op:"write" e)
+
+let do_fsync t =
+  match Failpt.eval "journal.fsync" with
+  | Some (Failpt.Errno e) -> io_fail t ~op:"fsync" e
+  | Some (Failpt.Short _) -> io_fail t ~op:"fsync" Unix.EIO
+  | (Some (Failpt.Delay _) | None) as o ->
+      (match o with Some (Failpt.Delay s) -> Unix.sleepf s | _ -> ());
+      (try Unix.fsync t.fd with Unix.Unix_error (e, _, _) -> io_fail t ~op:"fsync" e)
 
 let sync t =
-  flush t;
+  let data = Buffer.contents t.buf in
+  if String.length data > 0 then write_frames t data;
   if Obs.enabled () then begin
     let t0 = Clock.now () in
-    Unix.fsync t.fd;
+    do_fsync t;
     Obs.Histogram.observe (Obs.Registry.histogram "journal.fsync_s") (Clock.now () -. t0)
   end
-  else Unix.fsync t.fd;
+  else do_fsync t;
+  (* Only now are the buffered frames durable; anything before this
+     point keeps them queued for the retry. *)
+  t.synced_end <- t.synced_end + String.length data;
+  Buffer.clear t.buf;
   t.deferred <- false;
   t.last_sync <- Clock.now ()
 
@@ -83,8 +123,8 @@ let append t body =
       (* Injected crash: land every whole frame buffered so far (a real
          kill loses nothing that reached the page cache), then leave
          the torn prefix and abandon the process state right here. *)
-      flush t;
-      write_all t.fd (String.sub frame 0 keep);
+      (try write_all t.fd (Buffer.contents t.buf) with Unix.Unix_error _ -> ());
+      (try write_all t.fd (String.sub frame 0 keep) with Unix.Unix_error _ -> ());
       t.closed <- true;
       raise (Chaos.Crashed seq));
   t.next_seq <- seq + 1;

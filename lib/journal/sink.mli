@@ -17,7 +17,19 @@
     [upto_seq] only ever covers durable records.  An injected crash
     ({!Chaos}) flushes whole buffered frames before writing the torn
     prefix, so the tear lands exactly where a real kill would leave
-    it. *)
+    it.
+
+    {2 I/O failures}
+
+    A sync is failure-atomic.  Frames stay buffered until the write
+    {e and} the fsync both return; on any failure — ENOSPC, EIO, a
+    short write, a failed fsync, real or injected through the
+    [journal.write]/[journal.fsync] failpoints (docs/FAILPOINTS.md) —
+    the file is truncated back to {!durable_end} (the last durable
+    frame boundary), the frames are kept, and {!Error.Io} is raised.
+    Nothing is ever acknowledged off the back of a failed fsync, and a
+    later {!barrier} retries the whole buffer in order, so a healed
+    journal is byte-identical to one that never failed. *)
 
 type t
 
@@ -45,15 +57,23 @@ val append : t -> string -> int
 
 (** Durability point: fsync now, or — inside a group-commit window —
     defer the fsync to a commit after the window closes (or to
-    {!barrier}/{!close}, whichever comes first). *)
+    {!barrier}/{!close}, whichever comes first).  Raises {!Error.Io}
+    (retryable, see above) when the sync fails. *)
 val commit : t -> unit
 
 (** Make every appended record durable before returning: flushes the
     buffer and fsyncs if anything is deferred.  A no-op when the last
-    commit already synced. *)
+    commit already synced.  Raises {!Error.Io} (retryable) on failure;
+    calling {!barrier} again retries the buffered frames. *)
 val barrier : t -> unit
 
 val next_seq : t -> int
+
+(** Byte offset of the last durable frame boundary: everything below
+    it has survived an fsync, everything at or past it is still
+    buffered. *)
+val durable_end : t -> int
+
 val close : t -> unit
 
 (**/**)

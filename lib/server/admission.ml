@@ -7,7 +7,17 @@
    real fsync) before acknowledging anything.  Recovery rebuilds every
    table from a full WAL scan, so an acked admission survives any
    crash, and admissions present in no [Inject] record come back as
-   the pending queue. *)
+   the pending queue.
+
+   Storage failures (ENOSPC, EIO, failed fsync — [Journal.Error.Io],
+   real or failpoint-injected, docs/FAILPOINTS.md) do not kill the
+   engine: it enters a read-only *degraded* mode that sheds new
+   submissions, keeps status/stats live, and probes the disk with
+   jittered exponential backoff until a sync succeeds.  The sink keeps
+   every unsynced frame buffered across failures, so the healed WAL is
+   byte-identical to one that never failed. *)
+
+module Clock = Prelude.Clock
 
 type config = {
   round_interval : float;
@@ -70,13 +80,42 @@ let fresh_tables () =
     rejected = 0;
   }
 
+(* Degraded-mode bookkeeping (wall-clock side only: none of it feeds
+   the journal, so it cannot perturb determinism). *)
+type health = {
+  mutable degraded_since : float option;  (* None = healthy *)
+  mutable last_error : string;
+  mutable backoff : float;  (* current probe backoff, seconds *)
+  mutable next_probe : float;  (* wall deadline for the next disk probe *)
+  mutable degraded_rejects : int;
+  mutable io_errors : int;  (* Io failures the engine absorbed *)
+  mutable probes : int;
+  rng : Prelude.Rng.t;  (* probe jitter *)
+}
+
+let probe_backoff_min = 0.05
+let probe_backoff_max = 5.0
+
 type t = {
   service : Sim.Service.t;
   spec : Harness.Experiment.spec;
   config : config;
   store : Hire.Comp_store.t;
   tb : tables;
+  h : health;
 }
+
+let fresh_health seed =
+  {
+    degraded_since = None;
+    last_error = "";
+    backoff = probe_backoff_min;
+    next_probe = 0.0;
+    degraded_rejects = 0;
+    io_errors = 0;
+    probes = 0;
+    rng = Prelude.Rng.create (seed lxor 0x7a11);
+  }
 
 let service t = t.service
 let spec t = t.spec
@@ -144,7 +183,10 @@ let start ~dir ~config spec =
       sim
   in
   let tb = fresh_tables () in
-  let t = { service = svc; spec; config; store = Hire.Comp_store.default (); tb } in
+  let t =
+    { service = svc; spec; config; store = Hire.Comp_store.default (); tb;
+      h = fresh_health spec.Harness.Experiment.seed }
+  in
   Sim.Service.set_observer svc (observe_record tb);
   (* Run the spec's own trace (empty under the serving default of a tiny
      horizon) to quiescence so admission starts from a settled world. *)
@@ -200,6 +242,7 @@ let recover ~dir ~config () =
       config;
       store = Hire.Comp_store.default ();
       tb;
+      h = fresh_health spec.Harness.Experiment.seed;
     }
   in
   Sim.Service.set_observer t.service (observe_record tb);
@@ -289,7 +332,52 @@ let reject t msg =
   if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter "server.reject");
   Rejected msg
 
+(* ---- degraded mode -------------------------------------------------- *)
+
+let degraded t = t.h.degraded_since <> None
+let last_error t = t.h.last_error
+let probe_at t = if degraded t then Some t.h.next_probe else None
+
+(* On entry the backoff starts at its floor; every further failed probe
+   doubles it up to the cap.  The deadline is jittered uniformly in
+   [0.5, 1.5]× so a fleet of shedding servers does not thundering-herd
+   a shared device. *)
+let note_io_failure t e =
+  let h = t.h in
+  h.io_errors <- h.io_errors + 1;
+  h.last_error <- Journal.Error.to_string e;
+  (match h.degraded_since with
+  | None ->
+      h.degraded_since <- Some (Clock.now ());
+      h.backoff <- probe_backoff_min
+  | Some _ -> h.backoff <- Float.min probe_backoff_max (h.backoff *. 2.0));
+  h.next_probe <- Clock.now () +. (h.backoff *. (0.5 +. Prelude.Rng.float h.rng 1.0))
+
+let mark_healthy t =
+  t.h.degraded_since <- None;
+  t.h.backoff <- probe_backoff_min
+
+(* Run [f] absorbing retryable storage failures into the health state.
+   Only [Error.Io] is retryable; every other journal error (corruption,
+   divergence, state misuse) is a logic fault and still propagates. *)
+let guarded t f =
+  match f () with
+  | v -> Ok v
+  | exception Journal.Error.Journal_error (Journal.Error.Io _ as e) ->
+      note_io_failure t e;
+      Error ()
+
 let submit t (js : Protocol.job_spec) =
+  if degraded t then begin
+    (* Shedding: nothing reaches the journal, so the rejection needs no
+       durability and the WAL stays byte-identical to a run that never
+       saw the request. *)
+    t.h.degraded_rejects <- t.h.degraded_rejects + 1;
+    if Obs.enabled () then
+      Obs.Registry.incr (Obs.Registry.counter "server.degraded_rejects");
+    reject t "degraded"
+  end
+  else
   match js.client_id with
   | Some cid when Hashtbl.mem t.tb.clients cid ->
       (* idempotent resubmission: the original admission stands, nothing
@@ -315,15 +403,49 @@ let submit t (js : Protocol.job_spec) =
             Admitted { admit_id; duplicate = false }
       end
 
-let ack_barrier t = Sim.Service.ack_barrier t.service
+(* [false]: the fsync failed and the engine is now degraded — nothing
+   from this round may be acknowledged as admitted.  The [Admit] frames
+   stay buffered in the sink; a successful probe makes them durable, so
+   a client retry with the same idempotency key converges. *)
+let ack_barrier t =
+  match guarded t (fun () -> Sim.Service.ack_barrier t.service) with
+  | Ok () ->
+      if degraded t then mark_healthy t;
+      true
+  | Error () -> false
+
+(* Disk probe, rate-limited by the jittered backoff deadline ([~force]
+   for tests and shutdown).  A probe retries the barrier — the sink
+   rewrites its whole buffer, so success means every admission acked
+   or owed so far is durable — and then finishes any batch a storage
+   failure interrupted mid-drain, restoring the between-batches
+   invariant before new traffic lands. *)
+let probe ?(force = false) t =
+  match t.h.degraded_since with
+  | None -> true
+  | Some _ ->
+      if (not force) && Clock.now () < t.h.next_probe then false
+      else begin
+        t.h.probes <- t.h.probes + 1;
+        match guarded t (fun () -> Sim.Service.ack_barrier t.service) with
+        | Error () -> false
+        | Ok () -> (
+            match guarded t (fun () -> drain_sim t) with
+            | Ok () ->
+                mark_healthy t;
+                true
+            | Error () -> false)
+      end
+
 let pending t = t.tb.pending_n
 let batch_due t = t.tb.pending_n >= t.config.max_batch
 
 let flush t =
-  if t.tb.pending_n = 0 then begin
+  if degraded t then 0  (* probe heals first; nothing new is injected *)
+  else if t.tb.pending_n = 0 then begin
     (* Nothing to inject, but drain anyway: a recovered engine may still
        hold queued events from a batch interrupted mid-schedule. *)
-    drain_sim t;
+    (match guarded t (fun () -> drain_sim t) with Ok () | Error () -> ());
     0
   end
   else begin
@@ -350,8 +472,12 @@ let flush t =
     if Obs.enabled () then
       Obs.Registry.incr ~by:n (Obs.Registry.counter "server.inject");
     (* One batch = one scheduling problem: run the event loop dry so the
-       next batch meets a settled world (the paper's round model, §5). *)
-    drain_sim t;
+       next batch meets a settled world (the paper's round model, §5).
+       A storage failure mid-drain flips the engine degraded with the
+       batch partially processed; the queued events survive in the
+       simulator and the next successful probe finishes the drain, so
+       the record order matches the uninterrupted run. *)
+    (match guarded t (fun () -> drain_sim t) with Ok () | Error () -> ());
     n
   end
 
@@ -390,6 +516,9 @@ type stats = {
   batches : int;
   wal_records : int;
   sim_now : float;
+  degraded_now : bool;
+  degraded_rejects : int;
+  io_errors : int;
 }
 
 let stats t =
@@ -401,8 +530,15 @@ let stats t =
     batches = t.tb.batches;
     wal_records = Sim.Service.wal_seq t.service;
     sim_now = Sim.Simulator.now (Sim.Service.sim t.service);
+    degraded_now = degraded t;
+    degraded_rejects = t.h.degraded_rejects;
+    io_errors = t.h.io_errors;
   }
 
 let finish t =
+  (* One last chance for a degraded engine to heal; a disk that is
+     still failing makes [flush]/[Service.finish] raise [Error.Io] to
+     the caller — the WAL keeps everything up to the durable boundary. *)
+  if degraded t then ignore (probe ~force:true t : bool);
   let (_ : int) = flush t in
   Sim.Service.finish t.service

@@ -16,7 +16,23 @@
     batch to the simulator as arrivals at a common simulated time
     spaced [round_interval] from the previous batch, and runs the event
     loop to quiescence — one admission batch is one scheduling
-    problem, the paper's round model (§5). *)
+    problem, the paper's round model (§5).
+
+    {2 Degraded mode}
+
+    Retryable storage failures ({!Journal.Error.Io}: ENOSPC, EIO,
+    short writes, failed fsyncs — real or injected through the
+    failpoints of docs/FAILPOINTS.md) never kill the engine.  Instead
+    it enters a read-only {e degraded} mode: {!submit} sheds new work
+    with a ["degraded"] rejection (nothing is journaled), status and
+    stats stay live, and {!probe} retries the disk under jittered
+    exponential backoff ([0.05 s] doubling to a [5 s] cap).  The sink
+    keeps every unsynced frame buffered across failures, so the first
+    successful probe makes all owed admissions durable and the healed
+    WAL is byte-identical to a run that never failed.  A submission
+    whose {!ack_barrier} failed was answered with a retriable
+    ["degraded"] error but remains owed — clients that resubmit with
+    the same idempotency key converge on its admission id. *)
 
 type config = {
   round_interval : float;
@@ -69,12 +85,39 @@ type admit_result =
 
 (** Validate, translate (CompReq → PolyReq), and journal one
     submission.  Buffered: the caller owes an {!ack_barrier} before
-    acknowledging.  Never raises on bad input — rejection is a value. *)
+    acknowledging.  Never raises on bad input — rejection is a value.
+    While {!degraded}, every submission (idempotent resubmissions
+    included: their originals may not be durable yet) is shed with
+    [Rejected "degraded"] and nothing reaches the journal. *)
 val submit : t -> Protocol.job_spec -> admit_result
 
 (** Durability barrier over everything submitted so far (WAL-before-ack).
-    Amortize it over a batch of acks, not per submission. *)
-val ack_barrier : t -> unit
+    Amortize it over a batch of acks, not per submission.  [false]
+    means the sync failed and the engine is now {!degraded}: {b nothing
+    from this round may be acknowledged as admitted} — answer those
+    submissions with the retriable ["degraded"] error instead.  The
+    frames stay buffered and become durable at the first successful
+    {!probe}. *)
+val ack_barrier : t -> bool
+
+(** True while the engine is shedding submissions after a storage
+    failure. *)
+val degraded : t -> bool
+
+(** Human-readable description of the last absorbed storage failure
+    ([""] if none yet). *)
+val last_error : t -> string
+
+(** Wall deadline of the next backoff-gated disk probe, while
+    degraded. *)
+val probe_at : t -> float option
+
+(** Attempt to leave degraded mode: no-op before the backoff deadline
+    (unless [~force]), otherwise retry the barrier — the sink rewrites
+    its whole buffer, so success makes every owed admission durable —
+    and finish any batch the failure interrupted mid-drain.  Returns
+    [true] when the engine is healthy on return. *)
+val probe : ?force:bool -> t -> bool
 
 val pending : t -> int
 
@@ -105,9 +148,15 @@ type stats = {
   batches : int;
   wal_records : int;
   sim_now : float;
+  degraded_now : bool;  (** shedding submissions right now *)
+  degraded_rejects : int;  (** submissions shed while degraded *)
+  io_errors : int;  (** retryable storage failures absorbed *)
 }
 
 val stats : t -> stats
 
-(** Flush any pending batch, close the journal, finalize metrics. *)
+(** Flush any pending batch, close the journal, finalize metrics.
+    A degraded engine gets one forced {!probe} first; if the disk is
+    still failing this raises {!Journal.Error.Journal_error} [Io] —
+    the WAL keeps everything up to the durable boundary. *)
 val finish : t -> Sim.Simulator.result

@@ -4,7 +4,16 @@
    round's admissions, then queue the acknowledgments.  The serial loop
    is a feature: the engine, the journal sink, and the simulator are
    all single-owner, so no admission interleaves with a scheduling
-   step. *)
+   step.
+
+   Hostile transports are contained per connection (docs/FAILPOINTS.md):
+   a connection gets [io_timeout] wall seconds to finish a started line
+   (slow-loris) and to make progress on a queued reply (stalled write);
+   past either deadline it is closed and counted, the server unharmed.
+   A failed barrier flips the engine into degraded mode — the round's
+   would-be acks are rewritten into retriable "degraded" errors, ticks
+   probe the disk instead of flushing, and entry/exit are logged one
+   line each. *)
 
 type listen = Unix_sock of string | Tcp of string * int
 
@@ -14,6 +23,13 @@ type conn = {
   mutable out : string;  (* queued response bytes not yet written *)
   mutable out_off : int;
   mutable close_after_write : bool;
+  (* Containment deadlines, 0.0 = unarmed: [read_deadline] arms when a
+     line is left unterminated (a well-behaved client sends whole
+     lines; a slow-loris dribbles), [write_deadline] arms when a reply
+     is queued and re-arms on every written byte (a stalled reader
+     stops making progress). *)
+  mutable read_deadline : float;
+  mutable write_deadline : float;
 }
 
 (* A response owed to a connection once the round's barrier has run.
@@ -34,6 +50,9 @@ let close_conn conns c =
 let queue_reply c line =
   c.out <- c.out ^ line ^ "\n"
 
+let count name =
+  if Obs.enabled () then Obs.Registry.incr (Obs.Registry.counter name)
+
 (* Apply one parsed request; returns the reply line, whether it was a
    fresh admission (needs the barrier before acking), and whether the
    server should shut down after this round. *)
@@ -49,6 +68,7 @@ let apply engine (req : Protocol.request) =
               ],
             (not duplicate),
             false )
+      | Admission.Rejected "degraded" -> (Protocol.err_degraded, false, false)
       | Admission.Rejected reason ->
           (Protocol.err ("rejected: " ^ reason), false, false))
   | Protocol.Status id -> (
@@ -78,6 +98,10 @@ let apply engine (req : Protocol.request) =
             ("batches", Json.Num (float_of_int s.Admission.batches));
             ("wal_records", Json.Num (float_of_int s.Admission.wal_records));
             ("sim_now", Json.Num s.Admission.sim_now);
+            ("degraded", Json.Bool s.Admission.degraded_now);
+            ( "degraded_rejects",
+              Json.Num (float_of_int s.Admission.degraded_rejects) );
+            ("io_errors", Json.Num (float_of_int s.Admission.io_errors));
           ],
         false,
         false )
@@ -119,7 +143,7 @@ let listening_socket listen =
       Unix.listen fd 64;
       fd
 
-let serve ~engine ~listen ~tick_interval ?(max_conns = 64) () =
+let serve ~engine ~listen ~tick_interval ?(max_conns = 64) ?(io_timeout = 30.0) () =
   (* a peer closing mid-write must not kill the server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let lfd = listening_socket listen in
@@ -130,12 +154,29 @@ let serve ~engine ~listen ~tick_interval ?(max_conns = 64) () =
     if Obs.enabled () then Some (Obs.Registry.histogram "server.ack_latency_s")
     else None
   in
+  (* Degraded-mode transitions print one greppable line each (the CI
+     torture leg asserts both); [was_degraded] tracks edges. *)
+  let was_degraded = ref false in
+  let check_health () =
+    let d = Admission.degraded engine in
+    if d && not !was_degraded then
+      Printf.printf "degraded: shedding submissions after storage failure (%s)\n%!"
+        (Admission.last_error engine)
+    else if (not d) && !was_degraded then
+      Printf.printf "healthy: storage writes succeed again, admissions resume\n%!";
+    was_degraded := d
+  in
   let process_round ready_conns =
     (* 1. read everything that is ready *)
     let chunk = Bytes.create read_chunk in
     List.iter
       (fun c ->
-        match Unix.read c.fd chunk 0 read_chunk with
+        match
+          (match Failpt.eval "net.read" with
+          | Some (Failpt.Errno e) -> raise (Unix.Unix_error (e, "read", ""))
+          | Some (Failpt.Short _) | Some (Failpt.Delay _) | None -> ());
+          Unix.read c.fd chunk 0 read_chunk
+        with
         | 0 -> close_conn conns c
         | n ->
             Buffer.add_subbytes c.acc chunk 0 n;
@@ -158,7 +199,7 @@ let serve ~engine ~listen ~tick_interval ?(max_conns = 64) () =
     let admissions = ref 0 in
     List.iter
       (fun c ->
-        if not c.close_after_write then
+        if not c.close_after_write then begin
           List.iter
             (fun line ->
               if String.trim line = "" then ()
@@ -179,50 +220,104 @@ let serve ~engine ~listen ~tick_interval ?(max_conns = 64) () =
                         latency_from = (if admitted then Some received else None) }
                       :: !replies
               end)
-            (take_lines c))
+            (take_lines c);
+          (* a line left unterminated starts the slow-loris clock; a
+             whole-line client disarms it *)
+          if Buffer.length c.acc > 0 then begin
+            if c.read_deadline = 0.0 then
+              c.read_deadline <- Prelude.Clock.now () +. io_timeout
+          end
+          else c.read_deadline <- 0.0
+        end)
       !conns;
-    (* 3. WAL-before-ack: one barrier covers the whole round *)
-    if !admissions > 0 then Admission.ack_barrier engine;
+    (* 3. WAL-before-ack: one barrier covers the whole round.  If the
+       fsync fails, nothing submitted this round is durable — every
+       admission reply is rewritten into the retriable degraded error
+       (the engine keeps the frames; idempotent retries converge). *)
+    let barrier_ok = if !admissions > 0 then Admission.ack_barrier engine else true in
+    if not barrier_ok then check_health ();
     let acked = Prelude.Clock.now () in
     List.iter
       (fun r ->
+        let line =
+          if barrier_ok || r.latency_from = None then r.reply_line
+          else Protocol.err_degraded
+        in
         (match (r.latency_from, ack_hist) with
-        | Some t0, Some h -> Obs.Histogram.observe h (acked -. t0)
+        | Some t0, Some h when barrier_ok -> Obs.Histogram.observe h (acked -. t0)
         | _ -> ());
-        queue_reply r.reply_conn r.reply_line)
+        queue_reply r.reply_conn line)
       (List.rev !replies);
     (* 4. early flush when the batch fills *)
-    if Admission.batch_due engine then ignore (Admission.flush engine : int)
+    if (not (Admission.degraded engine)) && Admission.batch_due engine then
+      ignore (Admission.flush engine : int)
   in
   let write_ready ready =
     List.iter
       (fun c ->
         let len = String.length c.out - c.out_off in
         if len > 0 then
-          match Unix.write_substring c.fd c.out c.out_off len with
+          match
+            match Failpt.eval "net.write" with
+            | Some (Failpt.Errno e) -> raise (Unix.Unix_error (e, "write", ""))
+            | Some (Failpt.Short k) ->
+                (* forced partial write: the resume path must finish the
+                   reply on a later round *)
+                Unix.write_substring c.fd c.out c.out_off (min (max 1 k) len)
+            | Some (Failpt.Delay _) | None ->
+                Unix.write_substring c.fd c.out c.out_off len
+          with
           | n ->
               c.out_off <- c.out_off + n;
               if c.out_off >= String.length c.out then begin
                 c.out <- "";
                 c.out_off <- 0;
+                c.write_deadline <- 0.0;
                 if c.close_after_write then close_conn conns c
               end
+              else if n > 0 then
+                (* progress re-arms the stall clock *)
+                c.write_deadline <- Prelude.Clock.now () +. io_timeout
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
           | exception Unix.Unix_error (_, _, _) -> close_conn conns c)
       ready
   in
   let accept_ready () =
-    match Unix.accept lfd with
+    match
+      (match Failpt.eval "net.accept" with
+      | Some (Failpt.Errno e) -> raise (Unix.Unix_error (e, "accept", ""))
+      | Some (Failpt.Short _) | Some (Failpt.Delay _) | None -> ());
+      Unix.accept lfd
+    with
     | fd, _ ->
         if List.length !conns >= max_conns then (try Unix.close fd with _ -> ())
         else begin
           Unix.set_nonblock fd;
           conns :=
             { fd; acc = Buffer.create 256; out = ""; out_off = 0;
-              close_after_write = false }
+              close_after_write = false; read_deadline = 0.0; write_deadline = 0.0 }
             :: !conns
         end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) ->
+        (* ECONNABORTED, EMFILE, injected accept failures: drop this
+           attempt, keep serving — the backlog retries on the next
+           readiness *)
+        count "server.accept_errors"
+  in
+  (* Close (and count) every connection past a containment deadline. *)
+  let enforce_deadlines () =
+    let now = Prelude.Clock.now () in
+    List.iter
+      (fun c ->
+        if
+          (c.read_deadline > 0.0 && now > c.read_deadline)
+          || (c.write_deadline > 0.0 && now > c.write_deadline)
+        then begin
+          count "server.conn_timeouts";
+          close_conn conns c
+        end)
+      !conns
   in
   let finally () =
     List.iter (fun c -> try Unix.close c.fd with _ -> ()) !conns;
@@ -234,7 +329,19 @@ let serve ~engine ~listen ~tick_interval ?(max_conns = 64) () =
   Fun.protect ~finally (fun () ->
       Unix.set_nonblock lfd;
       while (not !shutdown) || List.exists (fun c -> c.out <> "") !conns do
-        let timeout = Float.max 0.0 (!next_tick -. Prelude.Clock.now ()) in
+        (* Wake for whichever comes first: the flush tick, the next
+           degraded-mode disk probe, or a connection deadline. *)
+        let wake =
+          List.fold_left
+            (fun w c ->
+              let w = if c.read_deadline > 0.0 then Float.min w c.read_deadline else w in
+              if c.write_deadline > 0.0 then Float.min w c.write_deadline else w)
+            (match Admission.probe_at engine with
+            | Some p -> Float.min !next_tick p
+            | None -> !next_tick)
+            !conns
+        in
+        let timeout = Float.max 0.0 (wake -. Prelude.Clock.now ()) in
         let rd = if !shutdown then [] else lfd :: List.map (fun c -> c.fd) !conns in
         let wr =
           List.filter_map
@@ -250,9 +357,21 @@ let serve ~engine ~listen ~tick_interval ?(max_conns = 64) () =
           List.filter (fun c -> List.mem c.fd readable) !conns
         in
         if not !shutdown then process_round ready_conns;
+        (* arm the write stall clock for replies queued this round *)
+        List.iter
+          (fun c ->
+            if c.out <> "" && c.write_deadline = 0.0 then
+              c.write_deadline <- Prelude.Clock.now () +. io_timeout)
+          !conns;
         write_ready (List.filter (fun c -> List.mem c.fd writable) !conns);
+        enforce_deadlines ();
+        if Admission.degraded engine then begin
+          ignore (Admission.probe engine : bool);
+          check_health ()
+        end;
         if Prelude.Clock.now () >= !next_tick then begin
-          if not !shutdown then ignore (Admission.flush engine : int);
+          if (not !shutdown) && not (Admission.degraded engine) then
+            ignore (Admission.flush engine : int);
           next_tick := Prelude.Clock.now () +. tick_interval
         end
       done;

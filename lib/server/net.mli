@@ -19,16 +19,35 @@
     connection that exceeds the bound gets a structured error and is
     closed.  The loop exits on the [shutdown] op: pending admissions
     are flushed, the journal is closed, and the simulation result is
-    returned. *)
+    returned.
+
+    {2 Containment and degradation (docs/FAILPOINTS.md)}
+
+    Hostile transports are contained per connection: a client gets
+    [io_timeout] wall seconds to complete a started request line
+    (slow-loris dribble) and to make progress draining a queued reply
+    (stalled reader); past either deadline the connection is closed and
+    [server.conn_timeouts] counted.  Accept failures (ECONNABORTED,
+    EMFILE, ...) drop the attempt and count [server.accept_errors]
+    without killing the loop.  The [net.accept]/[net.read]/[net.write]
+    failpoints inject all of the above deterministically.
+
+    When {!Admission.ack_barrier} fails (storage), the round's would-be
+    admission acks are rewritten into {!Protocol.err_degraded} and the
+    engine sheds submissions; ticks probe the disk (backoff-gated)
+    instead of flushing until it heals.  Both transitions log one
+    greppable line: ["degraded: ..."] / ["healthy: ..."]. *)
 
 type listen =
   | Unix_sock of string  (** path; a stale socket file is replaced *)
   | Tcp of string * int  (** bind address, port *)
 
 (** Serve until a [shutdown] request.  [tick_interval] is the wall
-    cadence of batch flushes, seconds.  Returns the finalized
-    simulation result ({!Admission.finish}).  The listening socket (and
-    a Unix-domain socket file) is cleaned up on the way out. *)
+    cadence of batch flushes, seconds; [io_timeout] (default 30 s) is
+    the per-connection containment deadline described above.  Returns
+    the finalized simulation result ({!Admission.finish}).  The
+    listening socket (and a Unix-domain socket file) is cleaned up on
+    the way out. *)
 val serve :
   engine:Admission.t -> listen:listen -> tick_interval:float ->
-  ?max_conns:int -> unit -> Sim.Simulator.result
+  ?max_conns:int -> ?io_timeout:float -> unit -> Sim.Simulator.result

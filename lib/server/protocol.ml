@@ -161,6 +161,15 @@ let ok fields = Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))
 let err msg =
   Json.to_string (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
 
+(* The shedding reply of degraded mode: [retriable] tells a client that
+   a backoff retry with the same idempotency key is the right move
+   (docs/FAILPOINTS.md). *)
+let err_degraded =
+  Json.to_string
+    (Json.Obj
+       [ ("ok", Json.Bool false); ("error", Json.Str "degraded");
+         ("retriable", Json.Bool true) ])
+
 let render_submit { priority; groups; inc; client_id } =
   let group (g : Workload.Job.task_group) =
     Json.Obj

@@ -62,6 +62,12 @@ val ok : (string * Json.t) list -> string
 (** [err msg] renders [{"ok":false,"error":msg}]. *)
 val err : string -> string
 
+(** The structured shedding error of degraded mode
+    ([{"ok":false,"error":"degraded","retriable":true}]): the server is
+    read-only after a storage failure; retry with backoff, reusing the
+    idempotency key (docs/FAILPOINTS.md). *)
+val err_degraded : string
+
 (** Render a submit request line — the client-side inverse of
     {!parse_request}, used by [hire_client] and the load generator. *)
 val render_submit : job_spec -> string

@@ -31,15 +31,24 @@ let wal_seq t = Journal.Sink.next_seq t.sink
 let write_checkpoint t =
   match Simulator.snapshot t.sim with
   | None -> ()  (* scheduler has no persist capability: genesis replay only *)
-  | Some blob ->
+  | Some blob -> (
       (* Join outstanding overlapped fsyncs first: a checkpoint's
          [upto_seq] must never cover records that are not yet durable,
          or recovery after a crash would refuse the journal. *)
       Journal.Sink.barrier t.sink;
-      Journal.Checkpoint.write ~dir:t.dir ~gen:t.next_gen
-        ~upto_seq:(Journal.Sink.next_seq t.sink)
-        blob;
-      t.next_gen <- t.next_gen + 1
+      (* Checkpoints are recovery accelerators, not a correctness
+         dependency: a failed write (ENOSPC, EIO, injected) is skipped —
+         recovery falls back to an older generation or genesis replay —
+         and the same generation is retried at the next cadence.  A
+         failed {e barrier} above still propagates: that is WAL
+         durability, not checkpointing. *)
+      match
+        Journal.Checkpoint.write ~dir:t.dir ~gen:t.next_gen
+          ~upto_seq:(Journal.Sink.next_seq t.sink)
+          blob
+      with
+      | () -> t.next_gen <- t.next_gen + 1
+      | exception Journal.Error.Journal_error (Journal.Error.Io _) -> ())
 
 (* The WAL protocol: append every record as it is emitted (buffered,
    not yet durable); every round commit is a durability point,

@@ -44,7 +44,11 @@ val append : t -> Wal.record -> unit
 (** Durability barrier: every record appended so far — input records
     included — is on disk when this returns, group-commit window
     notwithstanding.  The admission server calls it between accepting
-    submissions and acknowledging them. *)
+    submissions and acknowledging them.  Raises {!Journal.Error.Io}
+    (retryable — the frames stay buffered, see {!Journal.Sink}) when
+    storage fails; a failed {!Journal.Checkpoint.write} is instead
+    swallowed and the checkpoint skipped, because checkpoints only
+    accelerate recovery. *)
 val ack_barrier : t -> unit
 
 (** [start ~dir ~checkpoint_every ~header sim] begins journaling a fresh

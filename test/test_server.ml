@@ -291,7 +291,7 @@ let test_engine_submit_flush_status () =
   let id1 = admit_exn engine (synth_spec ~inc:Protocol.Auto 1) in
   let id2 = admit_exn engine (synth_spec ~inc:(Protocol.Service "netcache") 2) in
   Alcotest.(check (list int)) "dense admission ids" [ 0; 1; 2 ] [ id0; id1; id2 ];
-  Admission.ack_barrier engine;
+  Alcotest.(check bool) "barrier ok" true (Admission.ack_barrier engine);
   Alcotest.(check int) "three pending" 3 (Admission.pending engine);
   (match Admission.status engine id2 with
   | Some s -> Alcotest.(check string) "queued before flush" "queued" s.Admission.phase
@@ -385,7 +385,7 @@ let apply_ops engine ops ~from_ ~acked =
         | Sub k ->
             (match Admission.submit engine (spec_of_op k) with
             | Admission.Admitted { admit_id; duplicate = _ } ->
-                Admission.ack_barrier engine;
+                assert (Admission.ack_barrier engine);
                 if not (List.mem admit_id !acked) then acked := admit_id :: !acked
             | Admission.Rejected r -> Alcotest.failf "op %d rejected: %s" i r)
         | Flush -> ignore (Admission.flush engine : int))
@@ -434,7 +434,7 @@ let test_recovery_restores_pending_queue () =
   let engine = Admission.start ~dir ~config:engine_config (server_spec 8) in
   let (_ : int) = admit_exn engine (synth_spec ~client_id:"a" 0) in
   let (_ : int) = admit_exn engine (synth_spec ~client_id:"b" 1) in
-  Admission.ack_barrier engine;
+  assert (Admission.ack_barrier engine);
   (* Abandon the engine without finish — the crash model for "acked but
      never placed".  The sink's fd leaks for the test's duration, which
      is fine: recovery reopens the file by path. *)
