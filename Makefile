@@ -1,4 +1,4 @@
-.PHONY: all build test check lint-compare bench-solver bench-portfolio bench-journal bench-server doc clean
+.PHONY: all build test check lint-compare bench-solver bench-portfolio bench-journal bench-server bench-reopt doc clean
 
 all: build
 
@@ -9,13 +9,14 @@ test:
 	dune runtest
 
 # Polymorphic compare in sorts and polymorphic Hashtbl.hash are banned
-# from the solver hot path (lib/flow, lib/hire): they walk values
-# structurally and allocate.  Use Int.compare / Float.compare /
-# String.compare and Prelude.Int_tbl instead (docs/PERFORMANCE.md).
+# from the solver hot path (lib/flow, lib/hire, and the priority-queue
+# modules of lib/prelude they pull in): they walk values structurally
+# and allocate.  Use Int.compare / Float.compare / String.compare and
+# Prelude.Int_tbl instead (docs/PERFORMANCE.md).
 lint-compare:
-	@! grep -rnE '(List\.sort|List\.sort_uniq|Array\.sort)[ (]+compare' lib/flow lib/hire \
+	@! grep -rnE '(List\.sort|List\.sort_uniq|Array\.sort)[ (]+compare' lib/flow lib/hire lib/prelude \
 		|| { echo "lint-compare: FAIL (polymorphic compare in a sort above)"; exit 1; }
-	@! { grep -rn 'Hashtbl\.hash' lib/flow lib/hire | grep -v '\[Hashtbl\.hash\]'; } \
+	@! { grep -rn 'Hashtbl\.hash' lib/flow lib/hire lib/prelude | grep -v '\[Hashtbl\.hash\]'; } \
 		|| { echo "lint-compare: FAIL (polymorphic Hashtbl.hash above)"; exit 1; }
 	@echo "lint-compare: OK"
 
@@ -50,6 +51,17 @@ bench-server:
 	dune exec bench/bench_server.exe -- --out BENCH_8.json
 	@grep -q '"all_acked_recovered":true' BENCH_8.json
 	@echo "bench-server: OK (BENCH_8.json)"
+
+# Re-optimizing solve-path benchmark; writes BENCH_9.json (see
+# docs/PERFORMANCE.md, "Re-optimizing solves", for how to read it).
+# Exits non-zero if the Fast solver ever diverges from the Classic
+# baseline, if the re-optimizing pipeline diverges from its escape
+# hatches, or if the speedup gates (2x solve phase, 5x per-round
+# pipeline vs the pre-PR-5 baseline of BENCH_5.json) fail.
+bench-reopt:
+	dune exec bench/bench_reopt.exe -- --min-speedup 2 --min-e2e-speedup 5 --out BENCH_9.json
+	@grep -q '"identical": true' BENCH_9.json
+	@echo "bench-reopt: OK (BENCH_9.json)"
 
 # Tier-1 gate plus smoke-checks that the observability and fault flags
 # are wired into the CLI (docs/OBSERVABILITY.md, docs/FAULTS.md), that a
@@ -115,7 +127,7 @@ check: lint-compare
 		-k 8 --horizon 30 --seed 1 --faults --mtbf 40 --mttr 5 \
 		--crash-at 300 > /dev/null 2>&1; then \
 		echo "check: FAIL (armed crash should exit non-zero)"; exit 1; fi
-	printf '\x0a\x00\x00' >> /tmp/hire_check_journal/run/journal/wal.bin
+	printf '\012\000\000' >> /tmp/hire_check_journal/run/journal/wal.bin
 	dune exec bin/hire_service.exe -- --state-dir /tmp/hire_check_journal/run \
 		--recover --obs-summary --csv /tmp/hire_check_journal/rec.csv \
 		| grep -Eq 'journal\.torn_tail +1'

@@ -131,7 +131,7 @@ let time_portfolio net ~rounds ~eager ~primary =
   Graph.reset_flows g;
   let secondary =
     match primary with
-    | Flow_network.Ssp -> Flow_network.Cost_scaling
+    | Flow_network.Ssp | Flow_network.Ssp_classic -> Flow_network.Cost_scaling
     | Flow_network.Cost_scaling -> Flow_network.Ssp
   in
   let jobs = [ job_of primary; job_of secondary ] in

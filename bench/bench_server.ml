@@ -8,6 +8,20 @@
    journal is recovered in-process, timing the rebuild and verifying
    that every acknowledged admission survived (WAL-before-ack).
 
+   Ack latency and injection cadence are measured separately.  The ack
+   path is submit → WAL-barrier → reply and never waits for the
+   simulator; injection of acked admissions happens asynchronously at
+   the server's tick cadence, and a tick flush blocks the serve loop
+   for the duration of the scheduling rounds it triggers.  Earlier
+   versions of this bench ran with a 0.5 s tick, so submissions that
+   landed while a flush was running absorbed the whole flush into
+   their "ack latency" (p99 ~2 s).  Now the measurement phase runs
+   with ticks effectively disabled, each submission is stamped
+   individually at send time ([ack_p50_ms]/[ack_p99_ms] are pure
+   submit → ack), and the batching component is reported on its own as
+   [flush_s]: the cost of one explicit drain injecting the whole
+   phase-1 batch into the simulator.
+
    Emits one JSON object (BENCH_8.json for the CI bench leg) with an
    ["ok"] gate scripts can branch on. *)
 
@@ -109,9 +123,12 @@ let run jobs conns seed out state_dir =
         Unix._exit
           (try
              let engine = Admission.start ~dir:journal_dir ~config spec in
+             (* Ticks off during measurement: injection is driven by the
+                explicit drain below, so no tick flush can block the
+                serve loop mid-wave and leak into the ack numbers. *)
              let (_ : Sim.Simulator.result) =
                Server.Net.serve ~engine ~listen:(Server.Net.Unix_sock sock)
-                 ~tick_interval:0.5 ()
+                 ~tick_interval:3600.0 ()
              in
              0
            with _ -> 1)
@@ -125,14 +142,17 @@ let run jobs conns seed out state_dir =
   (* -------- phase 1: throughput + ack latency ---------------------- *)
   let latencies = ref [] in
   let acked = ref 0 in
+  let sent_at = Array.make (Array.length clients) 0.0 in
   let t0 = Prelude.Clock.now () in
   let i = ref 0 in
   while !i < jobs do
     (* pipeline one submission per connection, then collect the acks:
-       the server batches the round under a single WAL barrier *)
+       the server batches the round under a single WAL barrier.  Each
+       submission is stamped at its own send, so a latency sample is
+       submit -> ack for that submission, not for its wave. *)
     let wave = min (Array.length clients) (jobs - !i) in
-    let sent_at = Prelude.Clock.now () in
     for c = 0 to wave - 1 do
+      sent_at.(c) <- Prelude.Clock.now ();
       send_line clients.(c).fd
         (Protocol.render_submit
            (synth_spec ~seed ~client_id:(Some (Printf.sprintf "load-%d" (!i + c)))
@@ -141,13 +161,26 @@ let run jobs conns seed out state_dir =
     for c = 0 to wave - 1 do
       let resp = recv_line clients.(c) in
       if admitted_id resp <> None then incr acked;
-      latencies := (Prelude.Clock.now () -. sent_at) :: !latencies
+      latencies := (Prelude.Clock.now () -. sent_at.(c)) :: !latencies
     done;
     i := !i + wave
   done;
   let elapsed = Prelude.Clock.now () -. t0 in
   let lat = Array.of_list !latencies in
   Array.sort compare lat;
+
+  (* -------- phase 1b: injection cadence, measured on its own -------- *)
+  (* One drain injects everything phase 1 admitted and steps the
+     simulator; this is the batching component that tick flushes pay at
+     the configured cadence, kept out of the ack numbers above. *)
+  let t_flush = Prelude.Clock.now () in
+  send_line c0.fd "{\"op\":\"drain\"}";
+  let flush_injected =
+    match Json.parse (recv_line c0) with
+    | Ok v -> Option.bind (Json.member "injected" v) Json.to_int |> Option.value ~default:0
+    | Error _ -> 0
+  in
+  let flush_s = Prelude.Clock.now () -. t_flush in
 
   (* -------- phase 2: kill -9 mid-stream, recover in-process -------- *)
   let crash_ids = ref [] in
@@ -181,6 +214,8 @@ let run jobs conns seed out state_dir =
         ("admissions_per_s", Json.Num (float_of_int !acked /. elapsed));
         ("ack_p50_ms", Json.Num (1e3 *. percentile lat 0.50));
         ("ack_p99_ms", Json.Num (1e3 *. percentile lat 0.99));
+        ("flush_s", Json.Num flush_s);
+        ("flush_injected", Json.Num (float_of_int flush_injected));
         ("acked_before_crash", Json.Num (float_of_int (List.length !crash_ids)));
         ("pending_recovered", Json.Num (float_of_int r.Admission.pending_recovered));
         ("replayed", Json.Num (float_of_int r.Admission.replayed));

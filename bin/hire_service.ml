@@ -97,6 +97,7 @@ let run state_dir checkpoint_every recover crash_at scheduler mu k horizon seed 
       faults;
       resilience = None;
       incremental = true;
+      reopt = true;
       portfolio = false;
     }
   in

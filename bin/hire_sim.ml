@@ -4,8 +4,8 @@
    built from; see bench/main.ml for the full sweep. *)
 
 let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max_retries
-    solver_budget solver_steps guard no_incremental portfolio jobs verbose csv trace
-    obs_summary journal checkpoint_every =
+    solver_budget solver_steps guard no_incremental no_reopt portfolio jobs verbose csv
+    trace obs_summary journal checkpoint_every =
   if trace <> None || obs_summary then Obs.set_enabled true;
   (match trace with
   | Some path -> (
@@ -69,6 +69,7 @@ let run scheduler mu k horizon seeds setup util fraction faults_on mtbf mttr max
       faults;
       resilience;
       incremental = not no_incremental;
+      reopt = not no_reopt;
       portfolio;
     }
   in
@@ -292,6 +293,15 @@ let no_incremental =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let no_reopt =
+  let doc =
+    "Disable the re-optimizing solve path: undo the previous round's flow with a \
+     full arena sweep instead of the sparse touched-arc reset, and skip flow \
+     tracking.  Results are bit-identical either way (docs/PERFORMANCE.md); this \
+     is the measurement escape hatch.  No effect with $(b,--no-incremental)."
+  in
+  Arg.(value & flag & info [ "no-reopt" ] ~doc)
+
 let portfolio =
   let doc =
     "Race both MCMF backends (SSP and cost scaling) on OCaml 5 domains inside every \
@@ -366,8 +376,8 @@ let cmd =
     Term.(
       const run $ scheduler $ mu $ k $ horizon $ seeds $ setup $ util $ fraction
       $ faults_flag $ mtbf $ mttr $ max_retries $ solver_budget $ solver_steps $ guard
-      $ no_incremental $ portfolio $ jobs $ verbose $ csv $ trace $ obs_summary
-      $ journal $ checkpoint_every)
+      $ no_incremental $ no_reopt $ portfolio $ jobs $ verbose $ csv $ trace
+      $ obs_summary $ journal $ checkpoint_every)
 
 (* [~catch:false] so bad flag values (unknown scheduler/setup) and
    unreadable/unwritable files exit 1 with a one-line error instead of

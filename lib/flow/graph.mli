@@ -144,6 +144,35 @@ val reset_flows : t -> unit
 (** Alias for {!reset_flows} (historical name). *)
 val reset_flow : t -> unit
 
+(** {2 Touched-arc flow tracking (re-optimizing solves)}
+
+    With tracking enabled, every flow mutation ({!push},
+    {!corrupt_flow}) records its arc pair once, so undoing a solve
+    costs time proportional to the arcs the solve actually used instead
+    of the arena size.  The persistent network builder
+    (lib/hire/flow_network.ml) turns this on for its long-lived graph;
+    {!copy} snapshots never inherit it. *)
+
+(** [set_flow_tracking t on] enables or disables touched-pair
+    recording.  Disabling discards the pending record. *)
+val set_flow_tracking : t -> bool -> unit
+
+(** [reset_touched_flows t] restores exactly the arc pairs that carried
+    flow since the last reset to their original capacities and returns
+    how many pairs were restored.  Bit-identical in effect to
+    {!reset_flows} as long as every mutation since the previous reset
+    went through {!push}/{!corrupt_flow} (which the tracking
+    intercepts).  Falls back to a full {!reset_flows} when tracking is
+    off, returning {!arc_count}. *)
+val reset_touched_flows : t -> int
+
+(** Largest forward-arc cost seen since the last {!clear} — a monotone
+    upper envelope ({!set_cost} never lowers it), used by the MCMF
+    solver to decide whether the bucket-queue Dijkstra applies.  Purely
+    a selection heuristic: it may overestimate after costs decrease,
+    which only costs performance, never correctness. *)
+val cost_ub : t -> int
+
 (** Total cost of the current flow: sum over forward arcs of
     [flow * cost]. *)
 val flow_cost : t -> int

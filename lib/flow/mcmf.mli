@@ -55,7 +55,25 @@ type scratch
 
 val scratch : unit -> scratch
 
-(** [solve ?budget ?ctl ?scratch ?warm g] computes a min-cost max-flow
+(** Which SSP implementation to run.  Both are exact (same shipped flow
+    and total cost); they may break ties between equally-cheap augmenting
+    paths differently, so outcomes are reproducible per algorithm but
+    not across algorithms — pick one per run.
+
+    [Fast] (the default) terminates each Dijkstra at the first settled
+    deficit node, invalidates its distance/parent arrays in O(1) with
+    generation stamps, updates only the settled nodes' potentials, and
+    automatically swaps the binary heap for a monotone bucket queue when
+    the graph has no negative costs and a small cost bound
+    ({!Graph.cost_ub}).  The heap and bucket queue pop in the same
+    canonical (distance, node) order, so queue selection never affects
+    results.
+
+    [Classic] is the historical full-settle implementation, retained as
+    the measured baseline for bench_reopt (docs/PERFORMANCE.md). *)
+type algo = Classic | Fast
+
+(** [solve ?budget ?ctl ?scratch ?warm ?algo g] computes a min-cost max-flow
     on [g], mutating arc flows in place.  Supplies/demands are read from
     the graph's node supplies.  [budget] bounds the solve (checked
     before every augmentation); without one the solve runs to
@@ -82,9 +100,17 @@ val scratch : unit -> scratch
     scan proves them still valid.  Warm potentials can change which of
     several {e equally-cheap} shortest paths Dijkstra prefers, so warm
     starts preserve objective values but not necessarily tie-breaks;
-    leave it off when bit-identical placements matter. *)
+    leave it off when bit-identical placements matter.
+
+    [algo] (default [Fast]) selects the implementation; see {!algo}. *)
 val solve :
-  ?budget:Budget.t -> ?ctl:Budget.state -> ?scratch:scratch -> ?warm:bool -> Graph.t -> result
+  ?budget:Budget.t ->
+  ?ctl:Budget.state ->
+  ?scratch:scratch ->
+  ?warm:bool ->
+  ?algo:algo ->
+  Graph.t ->
+  result
 
 (** A single decomposed flow path: node sequence from a supply node to a
     demand node, and the amount carried. *)

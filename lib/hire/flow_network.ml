@@ -104,6 +104,7 @@ type prefix = {
 
 type builder = {
   g : Graph.t;
+  reopt : bool;  (* sparse touched-arc flow resets on the patch path *)
   mutable roles : int array;  (* packed node roles, -1 = none *)
   mutable valid_n : int;  (* nodes with meaningful roles this round *)
   mutable prefix : prefix option;
@@ -125,11 +126,18 @@ type builder = {
   mutable last_full : bool;
   mutable last_touched : int;
   mutable last_total : int;
+  mutable last_reset : int;  (* arc pairs whose flow the pre-patch reset undid *)
 }
 
-let create_builder () =
+let create_builder ?(reopt = false) () =
+  let g = Graph.create ~node_hint:1024 ~arc_hint:8192 () in
+  (* With re-optimization on, the graph records which arc pairs each
+     solve moves flow on, so the next patch undoes only those instead of
+     sweeping the whole arena. *)
+  Graph.set_flow_tracking g reopt;
   {
-    g = Graph.create ~node_hint:1024 ~arc_hint:8192 ();
+    g;
+    reopt;
     roles = [||];
     valid_n = 0;
     prefix = None;
@@ -149,6 +157,7 @@ let create_builder () =
     last_full = true;
     last_touched = 0;
     last_total = 0;
+    last_reset = 0;
   }
 
 let ensure_topology b node_count =
@@ -201,6 +210,7 @@ type build_stats = {
   full : bool;
   touched_arcs : int;
   total_arcs : int;
+  reset_arcs : int;
   builds : int;
   full_rebuilds : int;
 }
@@ -210,6 +220,7 @@ let stats t =
     full = t.b.last_full;
     touched_arcs = t.b.last_touched;
     total_arcs = t.b.last_total;
+    reset_arcs = t.b.last_reset;
     builds = t.b.builds;
     full_rebuilds = t.b.full_rebuilds;
   }
@@ -456,8 +467,15 @@ let patch_prefix b (view : View.t) p d ~big ~(params : Cost_model.params) touche
   let g = b.g in
   let topo = view.topo in
   Graph.release g p.mark;
-  (* Undo last round's flow (and any chaos corruption) on prefix arcs. *)
-  Graph.reset_flows g;
+  (* Undo last round's flow (and any chaos corruption) on prefix arcs:
+     sparsely via the graph's touched-pair record when re-optimizing,
+     otherwise a full arena sweep.  Bit-identical end state either
+     way (Graph.reset_touched_flows contract). *)
+  if b.reopt then b.last_reset <- Graph.reset_touched_flows g
+  else begin
+    Graph.reset_flows g;
+    b.last_reset <- Graph.arc_count g
+  end;
   if p.big <> big then begin
     for i = 0 to b.n_big - 1 do
       Graph.set_cap g b.big_arcs.(i) big
@@ -557,6 +575,7 @@ let build ?builder (view : View.t) census ~jobs ~now ~(params : Cost_model.param
         let sink = build_prefix b view ~big ~params mk in
         b.last_full <- true;
         b.full_rebuilds <- b.full_rebuilds + 1;
+        b.last_reset <- 0;
         sink
   in
   (* The marks are folded in (or subsumed by a full rebuild); forget
@@ -734,9 +753,12 @@ type outcome = {
   solver : Mcmf.result;
 }
 
-type solver = Ssp | Cost_scaling
+type solver = Ssp | Ssp_classic | Cost_scaling
 
-let solver_name = function Ssp -> "ssp" | Cost_scaling -> "cost-scaling"
+let solver_name = function
+  | Ssp -> "ssp"
+  | Ssp_classic -> "ssp-classic"
+  | Cost_scaling -> "cost-scaling"
 
 (* Module-level solve usable on any graph carrying this network's node
    ids — the builder's own graph or a private [Graph.copy] snapshot (the
@@ -745,6 +767,7 @@ let solver_name = function Ssp -> "ssp" | Cost_scaling -> "cost-scaling"
 let solve_graph ?(solver = Ssp) ?budget ?ctl ?scratch ?warm g =
   match solver with
   | Ssp -> Mcmf.solve ?budget ?ctl ?scratch ?warm g
+  | Ssp_classic -> Mcmf.solve ~algo:Mcmf.Classic ?budget ?ctl ?scratch ?warm g
   | Cost_scaling ->
       let r = Flow.Cost_scaling.solve ?budget ?ctl g in
       {

@@ -53,15 +53,27 @@ type t
     ran. *)
 type builder
 
-val create_builder : unit -> builder
+(** [create_builder ?reopt ()] makes a fresh builder.  With [reopt]
+    (default [false]) the builder's graph records which arc pairs each
+    solve touches ({!Flow.Graph.set_flow_tracking}), so the patch path
+    undoes the previous round's flow in time proportional to the arcs
+    the solve actually used instead of the arena size.  The reset is
+    bit-identical to the full sweep, so [reopt] never changes
+    placements — it is an escape hatch ([--no-reopt]) for measurement,
+    not a behaviour switch. *)
+val create_builder : ?reopt:bool -> unit -> builder
 
 (** Per-build patching statistics of the network a builder produced
     last: [touched_arcs] counts patched prefix arcs plus rebuilt suffix
-    arcs ([= total_arcs] on a full rebuild). *)
+    arcs ([= total_arcs] on a full rebuild); [reset_arcs] counts the arc
+    pairs whose flow the pre-patch reset actually restored (the full
+    arc count without [reopt], 0 on a full rebuild where {!clear}
+    subsumes the reset). *)
 type build_stats = {
   full : bool;
   touched_arcs : int;
   total_arcs : int;
+  reset_arcs : int;
   builds : int;
   full_rebuilds : int;
 }
@@ -100,8 +112,13 @@ type outcome = {
 }
 
 (** Which exact MCMF algorithm solves the round (the paper's artifact
-    races several solvers; both produce flows of identical cost). *)
-type solver = Ssp | Cost_scaling
+    races several solvers; all produce flows of identical cost).
+    [Ssp_classic] pins the pre-reoptimization SSP implementation
+    ({!Flow.Mcmf.Classic}) — kept as a measured baseline for
+    [bench/bench_reopt] and end-to-end comparisons; production paths
+    default to [Ssp], which runs the fast re-optimizing implementation
+    (docs/PERFORMANCE.md). *)
+type solver = Ssp | Ssp_classic | Cost_scaling
 
 val solver_name : solver -> string
 

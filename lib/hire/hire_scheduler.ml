@@ -14,6 +14,7 @@ type config = {
   solver : Flow_network.solver;
   resilience : resilience option;
   incremental : bool;
+  reopt : bool;
   warm_start : bool;
   portfolio : bool;
   portfolio_eager : bool option;
@@ -26,6 +27,7 @@ let default_config =
     solver = Flow_network.Ssp;
     resilience = None;
     incremental = true;
+    reopt = true;
     warm_start = false;
     portfolio = false;
     portfolio_eager = None;
@@ -60,7 +62,9 @@ let create ?(config = default_config) view =
     census = Locality.Task_census.create view.View.topo;
     order = [];
     solves = 0;
-    builder = (if config.incremental then Some (Flow_network.create_builder ()) else None);
+    builder =
+      (if config.incremental then Some (Flow_network.create_builder ~reopt:config.reopt ())
+       else None);
     scratch = (if config.incremental then Some (Flow.Mcmf.scratch ()) else None);
   }
 
@@ -245,7 +249,7 @@ let resolve_for_guard t raw =
     raw
 
 let other_backend = function
-  | Flow_network.Ssp -> Flow_network.Cost_scaling
+  | Flow_network.Ssp | Flow_network.Ssp_classic -> Flow_network.Cost_scaling
   | Flow_network.Cost_scaling -> Flow_network.Ssp
 
 (* Build the round's network through the persistent builder (when
@@ -468,7 +472,8 @@ let portfolio_chain t ~jobs ~time ~params (r : resilience) ~trips =
              captured only by the (single) SSP job and migrates to that
              job's domain for the duration of the solve. *)
           match backend with
-          | Flow_network.Ssp -> Flow_network.solve_graph ~solver:backend ~ctl ?scratch ?warm g
+          | Flow_network.Ssp | Flow_network.Ssp_classic ->
+              Flow_network.solve_graph ~solver:backend ~ctl ?scratch ?warm g
           | Flow_network.Cost_scaling -> Flow_network.solve_graph ~solver:backend ~ctl g);
     }
   in

@@ -38,6 +38,15 @@ type config = {
           rebuilt, and solver buffers are reused.  Placements and
           objective values are bit-identical either way; [false] is the
           escape hatch that rebuilds everything from scratch each round. *)
+  reopt : bool;
+      (** [true] (the default) turns on the re-optimizing solve path:
+          the persistent builder's graph tracks which arc pairs each
+          solve moves flow on, and the next round's patch undoes only
+          those ({!Flow_network.create_builder}).  Requires
+          [incremental]; ignored without it.  The sparse reset is
+          bit-identical to the full sweep, so placements never depend on
+          this flag — [false] ([--no-reopt]) exists to measure the
+          optimization, not to change behaviour. *)
   warm_start : bool;
       (** carry SSP node potentials across rounds when still valid.
           Off by default: warm starts preserve objective values but may

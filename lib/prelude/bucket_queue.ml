@@ -1,0 +1,197 @@
+(* Monotone integer bucket queue for Dijkstra on small non-negative
+   keys.  One growable int array of node ids per key ("bucket"), an
+   occupancy bitset for O(1)-amortized find-next-nonempty, and a
+   monotone front cursor: pops never go backwards, which is exactly the
+   access pattern of Dijkstra with non-negative reduced costs.
+
+   Pop order is the canonical lexicographic (key, value) order — the
+   same total order the monomorphic binary heap (Heap.Int_pair) pops in
+   — so the two queues are interchangeable on the solver hot path
+   without perturbing tie-breaking.  Within a bucket the minimum value
+   is served by lazily heapifying the bucket (on values) the first time
+   the front cursor lands on it; same-key pushes arriving while the
+   bucket is being drained sift into the live heap.
+
+   Generation stamps make [clear] O(1): per-bucket stamps mark which
+   buckets hold current-generation entries, and the occupancy bitset is
+   allowed to carry stale bits — the scan verifies against the stamp
+   and scrubs as it goes. *)
+
+type t = {
+  mutable buckets : int array array;  (* per-key value arrays *)
+  mutable blen : int array;           (* live entries per bucket *)
+  mutable bgen : int array;           (* generation that owns blen *)
+  mutable occ : int array;            (* occupancy bitset, stale bits ok *)
+  mutable nkeys : int;                (* usable key range [0, nkeys) *)
+  mutable gen : int;
+  mutable front : int;                (* monotone minimum-key cursor *)
+  mutable active : int;               (* heapified bucket key, -1 = none *)
+  mutable size : int;
+}
+
+let create () =
+  {
+    buckets = [||];
+    blen = [||];
+    bgen = [||];
+    occ = [||];
+    nkeys = 0;
+    gen = 0;
+    front = 0;
+    active = -1;
+    size = 0;
+  }
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let clear t =
+  t.gen <- t.gen + 1;
+  t.front <- 0;
+  t.active <- -1;
+  t.size <- 0
+
+(* 32 occupancy bits per word: OCaml ints are 63-bit, so 64-bit words
+   would need [1 lsl 63], which overflows.  32 keeps every shift in
+   range while preserving power-of-two index arithmetic. *)
+let word k = k lsr 5
+let bit k = 1 lsl (k land 31)
+
+let ensure_key t k =
+  if k >= t.nkeys then begin
+    let cap = max (k + 1) (max 64 (2 * t.nkeys)) in
+    let nb = Array.make cap [||] in
+    Array.blit t.buckets 0 nb 0 t.nkeys;
+    let nl = Array.make cap 0 in
+    Array.blit t.blen 0 nl 0 t.nkeys;
+    (* New buckets start one generation behind, so their lengths read as
+       empty until first touched. *)
+    let ng = Array.make cap (t.gen - 1) in
+    Array.blit t.bgen 0 ng 0 t.nkeys;
+    let nocc = Array.make ((cap lsr 5) + 1) 0 in
+    Array.blit t.occ 0 nocc 0 (Array.length t.occ);
+    t.buckets <- nb;
+    t.blen <- nl;
+    t.bgen <- ng;
+    t.occ <- nocc;
+    t.nkeys <- cap
+  end
+
+let bucket_append t k v =
+  let b = t.buckets.(k) in
+  let len = t.blen.(k) in
+  if len = Array.length b then begin
+    let nb = Array.make (max 4 (2 * len)) 0 in
+    Array.blit b 0 nb 0 len;
+    nb.(len) <- v;
+    t.buckets.(k) <- nb
+  end
+  else b.(len) <- v;
+  t.blen.(k) <- len + 1
+
+(* Min-heap on values inside one bucket (used only for the bucket the
+   front cursor is draining). *)
+let rec sift_up b i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if b.(i) < b.(p) then begin
+      let tmp = b.(i) in
+      b.(i) <- b.(p);
+      b.(p) <- tmp;
+      sift_up b p
+    end
+  end
+
+let rec sift_down b len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let s = ref i in
+  if l < len && b.(l) < b.(!s) then s := l;
+  if r < len && b.(r) < b.(!s) then s := r;
+  if !s <> i then begin
+    let tmp = b.(i) in
+    b.(i) <- b.(!s);
+    b.(!s) <- tmp;
+    sift_down b len !s
+  end
+
+let heapify b len =
+  for i = (len / 2) - 1 downto 0 do
+    sift_down b len i
+  done
+
+let push t k v =
+  if k < 0 then invalid_arg "Bucket_queue.push: negative key";
+  if k < t.front then
+    invalid_arg
+      (Printf.sprintf "Bucket_queue.push: key %d below monotone front %d" k t.front);
+  ensure_key t k;
+  if t.bgen.(k) <> t.gen then begin
+    t.bgen.(k) <- t.gen;
+    t.blen.(k) <- 0
+  end;
+  bucket_append t k v;
+  if k = t.active then sift_up t.buckets.(k) (t.blen.(k) - 1);
+  t.occ.(word k) <- t.occ.(word k) lor bit k;
+  t.size <- t.size + 1
+
+let live t k = t.bgen.(k) = t.gen && t.blen.(k) > 0
+
+(* Advance [front] to the smallest key >= front with a live bucket,
+   scrubbing stale occupancy bits along the way.  Word-at-a-time: a zero
+   word skips 32 keys in one test. *)
+let advance t =
+  let k = ref t.front in
+  let found = ref (-1) in
+  let nwords = Array.length t.occ in
+  while !found < 0 && word !k < nwords do
+    let w = word !k in
+    let masked = t.occ.(w) land lnot (bit !k - 1) in
+    if masked = 0 then k := (w + 1) lsl 5
+    else begin
+      (* Lowest set bit at or above !k in this word. *)
+      let b = masked land -masked in
+      let idx = ref 0 in
+      let bb = ref b in
+      while !bb land 1 = 0 do
+        incr idx;
+        bb := !bb lsr 1
+      done;
+      let key = (w lsl 5) + !idx in
+      if key < t.nkeys && live t key then found := key
+      else begin
+        t.occ.(w) <- t.occ.(w) land lnot b;
+        k := key + 1
+      end
+    end
+  done;
+  if !found < 0 then raise Not_found;
+  if !found <> t.front then t.active <- -1;
+  t.front <- !found;
+  !found
+
+let min_key t =
+  if t.size = 0 then raise Not_found;
+  advance t
+
+let pop t =
+  if t.size = 0 then raise Not_found;
+  let k = advance t in
+  if t.active <> k then begin
+    heapify t.buckets.(k) t.blen.(k);
+    t.active <- k
+  end;
+  let b = t.buckets.(k) in
+  let len = t.blen.(k) in
+  let top = b.(0) in
+  let len = len - 1 in
+  if len > 0 then begin
+    b.(0) <- b.(len);
+    sift_down b len 0
+  end
+  else begin
+    t.occ.(word k) <- t.occ.(word k) land lnot (bit k);
+    t.active <- -1
+  end;
+  t.blen.(k) <- len;
+  t.size <- t.size - 1;
+  top

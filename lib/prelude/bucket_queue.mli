@@ -1,0 +1,36 @@
+(** Monotone integer bucket queue (radix-style priority queue) for
+    Dijkstra with small non-negative integer keys.
+
+    Drop-in alternative to {!Heap.Int_pair} on the solver hot path:
+    [push]/[min_key]/[pop] have the same signatures, and pops follow the
+    same canonical lexicographic (key, value) order, so a search that
+    never pushes a key below the last popped one (the monotone property
+    of Dijkstra with non-negative reduced costs) gets identical results
+    from either queue — including tie-breaking among equal keys.
+
+    Memory is proportional to the largest key pushed since creation
+    (one growable bucket per key plus a bitset word per 64 keys);
+    [clear] is O(1) via generation stamps and keeps all backing storage
+    for reuse, so a queue held across solver rounds stops allocating
+    once warmed up. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+(** Reset to empty, keeping backing storage.  O(1). *)
+val clear : t -> unit
+
+(** [push t k v] inserts value [v] with key [k].
+    @raise Invalid_argument if [k] is negative or below the monotone
+    front (a key smaller than one already popped). *)
+val push : t -> int -> int -> unit
+
+(** Smallest live key.  @raise Not_found when empty. *)
+val min_key : t -> int
+
+(** Remove the minimum entry — smallest key, smallest value within the
+    key — and return its value.  @raise Not_found when empty. *)
+val pop : t -> int

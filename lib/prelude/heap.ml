@@ -57,11 +57,20 @@ let clear t = t.size <- 0
 let to_list t = Array.to_list (Array.sub t.data 0 t.size)
 
 (* Monomorphic (int key, int value) min-heap on parallel arrays: no
-   tuple boxing, no polymorphic-compare dispatch.  The sift logic is a
-   line-for-line mirror of the generic heap above (strict [<] on keys,
-   ties keep heap order), so replacing the generic heap with this one
-   preserves pop order — and therefore any tie-breaking downstream —
-   exactly. *)
+   tuple boxing, no polymorphic-compare dispatch.  Ordering is the
+   canonical lexicographic (key, value) order — equal keys break ties
+   toward the smaller value — so pop order is a total order independent
+   of insertion order.  This is the property that makes the heap
+   interchangeable with the monotone bucket queue (Bucket_queue) on the
+   Dijkstra hot path: both serve entries in exactly the same sequence,
+   so the solver's tie-breaking does not depend on which queue was
+   selected.
+
+   No decrease-key is needed (or provided): Dijkstra pushes a fresh
+   entry on every distance improvement and lazily skips stale entries
+   at pop time (popped key > current dist).  Since improvements are
+   strictly decreasing per node, duplicate (key, value) entries cannot
+   occur, and the lexicographic order stays total in practice. *)
 module Int_pair = struct
   type t = { mutable key : int array; mutable value : int array; mutable size : int }
 
@@ -88,10 +97,14 @@ module Int_pair = struct
     t.key.(j) <- k;
     t.value.(j) <- v
 
+  (* Lexicographic (key, value) comparison. *)
+  let less t i j =
+    t.key.(i) < t.key.(j) || (t.key.(i) = t.key.(j) && t.value.(i) < t.value.(j))
+
   let rec sift_up t i =
     if i > 0 then begin
       let parent = (i - 1) / 2 in
-      if t.key.(i) < t.key.(parent) then begin
+      if less t i parent then begin
         swap t i parent;
         sift_up t parent
       end
@@ -100,8 +113,8 @@ module Int_pair = struct
   let rec sift_down t i =
     let l = (2 * i) + 1 and r = (2 * i) + 2 in
     let smallest = ref i in
-    if l < t.size && t.key.(l) < t.key.(!smallest) then smallest := l;
-    if r < t.size && t.key.(r) < t.key.(!smallest) then smallest := r;
+    if l < t.size && less t l !smallest then smallest := l;
+    if r < t.size && less t r !smallest then smallest := r;
     if !smallest <> i then begin
       swap t i !smallest;
       sift_down t !smallest

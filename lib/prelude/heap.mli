@@ -29,10 +29,15 @@ val to_list : 'a t -> 'a list
 
     Allocation-free in steady state: [push]/[pop] reuse the backing
     arrays, and [clear] resets without freeing, so a heap held across
-    Dijkstra runs never reallocates once warmed up.  The sift logic
-    mirrors the generic heap exactly (strict [<] on keys), so pop order
-    — including tie order among equal keys — is identical to a generic
-    heap ordered by the key alone. *)
+    Dijkstra runs never reallocates once warmed up.
+
+    Ordering is the canonical lexicographic (key, value) order: among
+    equal keys the smaller value pops first.  {!Bucket_queue} pops in
+    the same order, so the MCMF solver can select either queue per
+    solve without perturbing tie-breaking.  There is deliberately no
+    decrease-key: Dijkstra pushes a new entry per improvement and skips
+    stale ones at pop time, which keeps every operation O(log n) with
+    zero bookkeeping. *)
 module Int_pair : sig
   type t
 

@@ -29,17 +29,17 @@ let percentile_sorted p sorted =
 
 let percentile p xs =
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   percentile_sorted p arr
 
 let percentiles ps xs =
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   List.map (fun p -> (p, percentile_sorted p arr)) ps
 
 let cdf_points ~points xs =
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.sort Float.compare arr;
   let n = Array.length arr in
   if n = 0 then []
   else

@@ -11,6 +11,7 @@ val create :
   ?shared:bool ->
   ?resilience:Hire.Hire_scheduler.resilience ->
   ?incremental:bool ->
+  ?reopt:bool ->
   ?warm_start:bool ->
   ?portfolio:bool ->
   ?portfolio_eager:bool ->

@@ -14,26 +14,27 @@ let names =
     "coco-timeout";
   ]
 
-let create ?resilience ?(incremental = true) ?(portfolio = false) ?portfolio_eager name
+let create ?resilience ?(incremental = true) ?(reopt = true) ?(portfolio = false)
+    ?portfolio_eager name
     ~seed cluster =
   match name with
-  | "hire" -> Hire_adapter.create ?resilience ~incremental ~portfolio ?portfolio_eager cluster
+  | "hire" -> Hire_adapter.create ?resilience ~incremental ~reopt ~portfolio ?portfolio_eager cluster
   | "hire-simple" ->
-      Hire_adapter.create ~simple_flavor:true ?resilience ~incremental ~portfolio
+      Hire_adapter.create ~simple_flavor:true ?resilience ~incremental ~reopt ~portfolio
         ?portfolio_eager cluster
   | "hire-scaling" ->
-      Hire_adapter.create ~solver:Hire.Flow_network.Cost_scaling ?resilience ~incremental
+      Hire_adapter.create ~solver:Hire.Flow_network.Cost_scaling ?resilience ~incremental ~reopt
         ~portfolio ?portfolio_eager ~name:"hire-scaling" cluster
   | "hire-noloc" ->
       Hire_adapter.create
         ~params:{ Hire.Cost_model.default_params with locality_aware = false }
-        ?resilience ~incremental ~portfolio ?portfolio_eager ~name:"hire-noloc" cluster
+        ?resilience ~incremental ~reopt ~portfolio ?portfolio_eager ~name:"hire-noloc" cluster
   | "hire-noshare" ->
       (* Ablation: the scheduler neither plans for nor physically uses
          switch-resource sharing. *)
       Hire_adapter.create
         ~params:{ Hire.Cost_model.default_params with sharing_aware = false }
-        ~shared:false ?resilience ~incremental ~portfolio ?portfolio_eager
+        ~shared:false ?resilience ~incremental ~reopt ~portfolio ?portfolio_eager
         ~name:"hire-noshare" cluster
   | "yarn-concurrent" -> Yarn_pp.create ~mode:Modes.Concurrent cluster
   | "yarn-timeout" -> Yarn_pp.create ~mode:Modes.Timeout cluster
